@@ -1,0 +1,152 @@
+(* Benchmark and reproduction harness.
+
+   Usage:
+     dune exec bench/main.exe                 -- run every section
+     dune exec bench/main.exe <section> ...   -- run selected sections
+
+   Sections (one per paper artefact, see DESIGN.md's experiment index):
+     table1   Table 1  - WCET with/without cache pinning
+     table2   Table 2  - before/after WCET, computed vs observed, L2 off/on
+     fig7     Fig. 7   - capability-decode depth sweep (observed)
+     fig8     Fig. 8   - hardware-model overestimation on forced paths
+     fig9     Fig. 9   - observed effect of L2 cache and branch predictor
+     sched    Sections 3.1-3.2 - scheduler ablation (lazy/Benno/bitmap)
+     loopbounds Section 5.3   - automatically computed loop bounds
+     analysis Section 6.3     - ILP sizes, solver effort, constraint effect
+     summary  Section 6       - headline numbers
+     micro    Bechamel microbenchmarks of the core data structures *)
+
+let run_table1 () = Sel4_rt.Experiments.(print_table1 (table1 ()))
+let run_table2 () = Sel4_rt.Experiments.(print_table2 (table2 ()))
+let run_fig7 () = Sel4_rt.Experiments.(print_fig7 (fig7 ()))
+let run_fig8 () = Sel4_rt.Experiments.(print_fig8 (fig8 ()))
+let run_fig9 () = Sel4_rt.Experiments.(print_fig9 (fig9 ()))
+let run_sched () = Sel4_rt.Experiments.(print_sched (sched_ablation ()))
+let run_loopbounds () = Sel4_rt.Experiments.(print_loop_bounds (loop_bounds ()))
+let run_analysis () = Sel4_rt.Experiments.(print_analysis_cost (analysis_cost ()))
+let run_summary () = Sel4_rt.Experiments.(print_summary (summary ()))
+let run_l2lock () = Sel4_rt.Experiments.(print_l2_lock (l2_lock ()))
+let run_callpreempt () = Sel4_rt.Experiments.(print_call_preempt (call_preempt ()))
+let run_fastpath () = Sel4_rt.Experiments.(print_fastpath (fastpath_ablation ()))
+let run_replacement () = Sel4_rt.Experiments.(print_replacement (replacement ()))
+
+(* --- Bechamel microbenchmarks --- *)
+
+let micro_tests () =
+  let open Bechamel in
+  let cache_test =
+    let cache = Hw.Cache.create ~line_size:32 ~sets:128 ~ways:4 () in
+    let counter = ref 0 in
+    Test.make ~name:"l1-cache-access"
+      (Staged.stage (fun () ->
+           incr counter;
+           ignore (Hw.Cache.access cache ~write:false (!counter * 32 mod 65536))))
+  in
+  let sched_test variant name =
+    let build = { Sel4.Build.improved with Sel4.Build.sched = variant } in
+    let env = Sel4.Boot.boot build in
+    let threads =
+      List.init 16 (fun i ->
+          Sel4.Boot.spawn_thread env ~priority:(64 + i) ~dest:(20 + i))
+    in
+    List.iter (Sel4.Boot.make_runnable env) threads;
+    let ctx = Sel4.Kernel.ctx env.Sel4.Boot.k in
+    let sched = env.Sel4.Boot.k.Sel4.Kernel.sched in
+    Test.make ~name:("choose-thread-" ^ name)
+      (Staged.stage (fun () -> ignore (Sel4.Sched.choose_thread ctx sched)))
+  in
+  let fastpath_test =
+    let module K = Sel4.Kernel in
+    let module B = Sel4.Boot in
+    let env = B.boot Sel4.Build.improved in
+    let _ep = B.spawn_endpoint env ~dest:10 in
+    let server = B.spawn_thread env ~priority:150 ~dest:11 in
+    let client = B.spawn_thread env ~priority:120 ~dest:12 in
+    B.make_runnable env server;
+    B.make_runnable env client;
+    K.force_run env.B.k server;
+    ignore (K.kernel_entry env.B.k (K.Ev_recv { ep = 10 }));
+    Test.make ~name:"ipc-call-reply-roundtrip"
+      (Staged.stage (fun () ->
+           K.force_run env.B.k client;
+           ignore
+             (K.kernel_entry env.B.k
+                (K.Ev_call
+                   { ep = 10; badge_hint = 0; msg_len = 2; extra_caps = [] }));
+           K.force_run env.B.k server;
+           ignore
+             (K.kernel_entry env.B.k (K.Ev_reply_recv { ep = 10; msg_len = 1 }))))
+  in
+  let ilp_test =
+    Test.make ~name:"ipet-interrupt-analysis"
+      (Staged.stage (fun () ->
+           ignore
+             (Sel4_rt.Response_time.computed_cycles ~config:Hw.Config.default
+                Sel4.Build.improved Sel4_rt.Kernel_model.Interrupt)))
+  in
+  Test.make_grouped ~name:"micro"
+    [
+      cache_test;
+      sched_test Sel4.Build.Lazy "lazy";
+      sched_test Sel4.Build.Benno "benno";
+      sched_test Sel4.Build.Benno_bitmap "bitmap";
+      fastpath_test;
+      ilp_test;
+    ]
+
+let run_micro () =
+  let open Bechamel in
+  let open Toolkit in
+  Fmt.pr "@.Bechamel microbenchmarks (wall-clock of the simulator itself)@.";
+  let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.25) () in
+  let raw = Benchmark.all cfg Instance.[ monotonic_clock ] (micro_tests ()) in
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold (fun name v acc -> (name, v) :: acc) results []
+    |> List.sort compare
+  in
+  List.iter
+    (fun (name, est) ->
+      match Analyze.OLS.estimates est with
+      | Some [ ns ] -> Fmt.pr "  %-40s %12.1f ns/run@." name ns
+      | _ -> Fmt.pr "  %-40s %12s@." name "-")
+    rows
+
+let sections =
+  [
+    ("table1", run_table1);
+    ("table2", run_table2);
+    ("fig7", run_fig7);
+    ("fig8", run_fig8);
+    ("fig9", run_fig9);
+    ("sched", run_sched);
+    ("loopbounds", run_loopbounds);
+    ("analysis", run_analysis);
+    ("summary", run_summary);
+    ("l2lock", run_l2lock);
+    ("callpreempt", run_callpreempt);
+    ("fastpath", run_fastpath);
+    ("replacement", run_replacement);
+    ("micro", run_micro);
+  ]
+
+let () =
+  let requested =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as args) -> args
+    | _ -> List.map fst sections
+  in
+  List.iter
+    (fun name ->
+      match List.assoc_opt name sections with
+      | Some f ->
+          Fmt.pr "==== %s ====@." name;
+          f ()
+      | None ->
+          Fmt.epr "unknown section %s; available: %s@." name
+            (String.concat " " (List.map fst sections));
+          exit 1)
+    requested

@@ -1,0 +1,203 @@
+(* sel4rt: command-line front end for the response-time toolkit.
+
+     sel4rt wcet     --entry syscall --build improved --l2 --pin --path
+     sel4rt observe  --entry interrupt --runs 25 --l2
+     sel4rt response --build improved --l2
+     sel4rt repro [section ...]        (same sections as bench/main.exe)
+     sel4rt loops
+     sel4rt pins *)
+
+open Cmdliner
+
+let entry_conv =
+  let parse = function
+    | "syscall" -> Ok Sel4_rt.Kernel_model.Syscall
+    | "interrupt" | "irq" -> Ok Sel4_rt.Kernel_model.Interrupt
+    | "fault" | "pagefault" -> Ok Sel4_rt.Kernel_model.Page_fault
+    | "undefined" | "undef" -> Ok Sel4_rt.Kernel_model.Undefined_instruction
+    | s -> Error (`Msg (Fmt.str "unknown entry point %S" s))
+  in
+  let print ppf e = Fmt.string ppf (Sel4_rt.Kernel_model.entry_name e) in
+  Arg.conv (parse, print)
+
+let build_conv =
+  let parse = function
+    | "improved" | "after" -> Ok Sel4.Build.improved
+    | "original" | "before" -> Ok Sel4.Build.original
+    | "benno" -> Ok { Sel4.Build.improved with Sel4.Build.sched = Sel4.Build.Benno }
+    | "lazy" -> Ok { Sel4.Build.improved with Sel4.Build.sched = Sel4.Build.Lazy }
+    | s -> Error (`Msg (Fmt.str "unknown build %S" s))
+  in
+  Arg.conv (parse, fun ppf b -> Sel4.Build.pp ppf b)
+
+let entry_arg =
+  Arg.(
+    value
+    & opt entry_conv Sel4_rt.Kernel_model.Syscall
+    & info [ "entry"; "e" ] ~docv:"ENTRY"
+        ~doc:"Kernel entry point: syscall, interrupt, fault or undefined.")
+
+let build_arg =
+  Arg.(
+    value
+    & opt build_conv Sel4.Build.improved
+    & info [ "build"; "b" ] ~docv:"BUILD"
+        ~doc:"Kernel build: improved (after), original (before), benno, lazy.")
+
+let l2_arg =
+  Arg.(value & flag & info [ "l2" ] ~doc:"Enable the unified L2 cache.")
+
+let pin_arg =
+  Arg.(
+    value & flag
+    & info [ "pin" ] ~doc:"Reserve one L1 way and pin the interrupt path.")
+
+let path_arg =
+  Arg.(value & flag & info [ "path" ] ~doc:"Print the worst-case path.")
+
+let runs_arg =
+  Arg.(
+    value & opt int 25
+    & info [ "runs" ] ~docv:"N" ~doc:"Polluted-cache measurement repetitions.")
+
+let config_of ~l2 ~pin =
+  let c = if l2 then Hw.Config.with_l2 else Hw.Config.default in
+  if pin then Hw.Config.with_pinning c else c
+
+let pins_of build ~pin =
+  if not pin then Sel4_rt.Response_time.no_pins
+  else begin
+    let s = Sel4_rt.Pinning.select build in
+    {
+      Sel4_rt.Response_time.code = s.Sel4_rt.Pinning.code_lines;
+      data = s.Sel4_rt.Pinning.data_lines;
+    }
+  end
+
+let wcet_cmd =
+  let run entry build l2 pin path =
+    let config = config_of ~l2 ~pin in
+    let pins = pins_of build ~pin in
+    let result = Sel4_rt.Response_time.computed ~pins ~config build entry in
+    Fmt.pr "%s, %a@." (Sel4_rt.Kernel_model.entry_name entry) Sel4.Build.pp build;
+    Fmt.pr "hardware: %a@." Hw.Config.pp config;
+    Fmt.pr "WCET bound: %d cycles (%.1f us)@." result.Wcet.Ipet.wcet
+      (Hw.Config.cycles_to_us config result.Wcet.Ipet.wcet);
+    Fmt.pr "ILP: %d variables, %d constraints, %d nodes, %d LP solves, %.2fs@."
+      result.Wcet.Ipet.ilp_vars result.Wcet.Ipet.ilp_constraints
+      result.Wcet.Ipet.bb_nodes result.Wcet.Ipet.lp_solves
+      result.Wcet.Ipet.elapsed_s;
+    if path then begin
+      Fmt.pr "worst-case path:@.";
+      List.iter
+        (fun (label, count, cycles) ->
+          Fmt.pr "  %-44s x%-5d %7d cycles/visit@." label count cycles)
+        (Wcet.Ipet.worst_path result)
+    end
+  in
+  Cmd.v
+    (Cmd.info "wcet" ~doc:"Compute a WCET bound for a kernel entry point.")
+    Term.(const run $ entry_arg $ build_arg $ l2_arg $ pin_arg $ path_arg)
+
+let observe_cmd =
+  let run entry build l2 runs =
+    let config = config_of ~l2 ~pin:false in
+    let observed = Sel4_rt.Response_time.observed ~runs ~config build entry in
+    Fmt.pr "%s, %a, %d runs@." (Sel4_rt.Kernel_model.entry_name entry)
+      Sel4.Build.pp build runs;
+    Fmt.pr "observed worst case: %d cycles (%.1f us)@." observed
+      (Hw.Config.cycles_to_us config observed)
+  in
+  Cmd.v
+    (Cmd.info "observe"
+       ~doc:"Measure the observed worst case under adversarial workloads.")
+    Term.(const run $ entry_arg $ build_arg $ l2_arg $ runs_arg)
+
+let response_cmd =
+  let run build l2 pin =
+    let config = config_of ~l2 ~pin in
+    let pins = pins_of build ~pin in
+    let bound =
+      Sel4_rt.Response_time.interrupt_response_bound ~pins ~config build
+    in
+    Fmt.pr "worst-case interrupt response (%a): %d cycles (%.1f us)@."
+      Sel4.Build.pp build bound
+      (Hw.Config.cycles_to_us config bound)
+  in
+  Cmd.v
+    (Cmd.info "response"
+       ~doc:
+         "Compute the worst-case interrupt response bound (longest kernel \
+          path plus the interrupt path).")
+    Term.(const run $ build_arg $ l2_arg $ pin_arg)
+
+let repro_cmd =
+  let sections =
+    [
+      ("table1", fun () -> Sel4_rt.Experiments.(print_table1 (table1 ())));
+      ("table2", fun () -> Sel4_rt.Experiments.(print_table2 (table2 ())));
+      ("fig7", fun () -> Sel4_rt.Experiments.(print_fig7 (fig7 ())));
+      ("fig8", fun () -> Sel4_rt.Experiments.(print_fig8 (fig8 ())));
+      ("fig9", fun () -> Sel4_rt.Experiments.(print_fig9 (fig9 ())));
+      ("sched", fun () -> Sel4_rt.Experiments.(print_sched (sched_ablation ())));
+      ( "loopbounds",
+        fun () -> Sel4_rt.Experiments.(print_loop_bounds (loop_bounds ())) );
+      ( "analysis",
+        fun () -> Sel4_rt.Experiments.(print_analysis_cost (analysis_cost ())) );
+      ("summary", fun () -> Sel4_rt.Experiments.(print_summary (summary ())));
+      ("l2lock", fun () -> Sel4_rt.Experiments.(print_l2_lock (l2_lock ())));
+    ]
+  in
+  let run names =
+    let names = if names = [] then List.map fst sections else names in
+    List.iter
+      (fun name ->
+        match List.assoc_opt name sections with
+        | Some f ->
+            Fmt.pr "==== %s ====@." name;
+            f ()
+        | None ->
+            Fmt.epr "unknown section %s (available: %s)@." name
+              (String.concat ", " (List.map fst sections));
+            exit 1)
+      names
+  in
+  Cmd.v
+    (Cmd.info "repro"
+       ~doc:"Regenerate the paper's tables and figures (all, or by name).")
+    Term.(
+      const run
+      $ Arg.(value & pos_all string [] & info [] ~docv:"SECTION"))
+
+let loops_cmd =
+  let run () =
+    Sel4_rt.Experiments.(print_loop_bounds (loop_bounds ()))
+  in
+  Cmd.v
+    (Cmd.info "loops" ~doc:"Compute the kernel loop bounds (Section 5.3).")
+    Term.(const run $ const ())
+
+let pins_cmd =
+  let run build =
+    let s = Sel4_rt.Pinning.select build in
+    Fmt.pr "%a@." Sel4_rt.Pinning.pp s;
+    Fmt.pr "I-cache lines:@.";
+    List.iter (fun l -> Fmt.pr "  %#010x@." l) s.Sel4_rt.Pinning.code_lines;
+    Fmt.pr "D-cache lines:@.";
+    List.iter (fun l -> Fmt.pr "  %#010x@." l) s.Sel4_rt.Pinning.data_lines
+  in
+  Cmd.v
+    (Cmd.info "pins" ~doc:"Show the trace-derived cache-pinning selection.")
+    Term.(const run $ build_arg)
+
+let () =
+  let info =
+    Cmd.info "sel4rt" ~version:"1.0.0"
+      ~doc:
+        "Worst-case interrupt response analysis for a verifiable protected \
+         microkernel (EuroSys'12 reproduction)."
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ wcet_cmd; observe_cmd; response_cmd; repro_cmd; loops_cmd; pins_cmd ]))

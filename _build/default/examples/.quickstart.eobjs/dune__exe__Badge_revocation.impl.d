@@ -1,0 +1,1 @@
+examples/badge_revocation.ml: Array Fmt Hw List Sel4

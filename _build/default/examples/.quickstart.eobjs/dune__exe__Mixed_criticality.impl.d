@@ -1,0 +1,1 @@
+examples/mixed_criticality.ml: Array Fmt Hw List Sel4

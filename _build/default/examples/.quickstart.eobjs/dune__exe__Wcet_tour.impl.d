@@ -1,0 +1,1 @@
+examples/wcet_tour.ml: Fmt Hw List Sel4 Sel4_rt Wcet

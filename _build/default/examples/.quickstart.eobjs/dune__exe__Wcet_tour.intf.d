@@ -1,0 +1,1 @@
+examples/wcet_tour.mli:

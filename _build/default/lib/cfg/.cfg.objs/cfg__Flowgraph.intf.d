@@ -1,0 +1,1 @@
+lib/cfg/flowgraph.mli: Fmt

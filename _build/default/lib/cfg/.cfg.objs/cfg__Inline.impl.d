@@ -1,0 +1,1 @@
+lib/cfg/inline.ml: Array Flowgraph Fmt Hashtbl List

@@ -1,0 +1,1 @@
+lib/cfg/inline.mli: Flowgraph

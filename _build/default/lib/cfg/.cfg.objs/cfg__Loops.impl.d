@@ -1,0 +1,1 @@
+lib/cfg/loops.ml: Array Dominators Flowgraph Fmt Hashtbl List

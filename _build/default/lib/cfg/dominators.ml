@@ -1,0 +1,84 @@
+(* Immediate dominators by the Cooper-Harvey-Kennedy iterative algorithm
+   ("A Simple, Fast Dominance Algorithm").  Runs on the reachable subgraph
+   in reverse postorder. *)
+
+type t = {
+  idom : int array;  (* idom.(b) = immediate dominator; entry maps to itself;
+                        -1 for unreachable blocks *)
+  rpo_index : int array;  (* position in reverse postorder; -1 unreachable *)
+}
+
+let compute fn =
+  let n = Flowgraph.num_blocks fn in
+  let rpo = Flowgraph.reverse_postorder fn in
+  let rpo_index = Array.make n (-1) in
+  List.iteri (fun i b -> rpo_index.(b) <- i) rpo;
+  let preds = Flowgraph.preds fn in
+  let idom = Array.make n (-1) in
+  idom.(fn.Flowgraph.entry) <- fn.Flowgraph.entry;
+  let rec intersect a b =
+    if a = b then a
+    else if rpo_index.(a) > rpo_index.(b) then intersect idom.(a) b
+    else intersect a idom.(b)
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun b ->
+        if b <> fn.Flowgraph.entry then begin
+          let processed =
+            List.filter (fun p -> idom.(p) >= 0) preds.(b)
+          in
+          match processed with
+          | [] -> ()
+          | first :: rest ->
+              let new_idom = List.fold_left intersect first rest in
+              if idom.(b) <> new_idom then begin
+                idom.(b) <- new_idom;
+                changed := true
+              end
+        end)
+      rpo
+  done;
+  { idom; rpo_index }
+
+let idom t b = if t.idom.(b) < 0 then None else Some t.idom.(b)
+
+let dominates t a b =
+  (* Walk the dominator tree up from [b]. *)
+  let rec walk b =
+    if b = a then true
+    else if t.idom.(b) < 0 || t.idom.(b) = b then b = a
+    else walk t.idom.(b)
+  in
+  t.idom.(b) >= 0 && walk b
+
+let dominator_tree t =
+  let n = Array.length t.idom in
+  let children = Array.make n [] in
+  Array.iteri
+    (fun b d -> if d >= 0 && d <> b then children.(d) <- b :: children.(d))
+    t.idom;
+  children
+
+(* Dominance frontiers (Cytron et al.), needed for SSA construction. *)
+let frontiers fn t =
+  let n = Flowgraph.num_blocks fn in
+  let preds = Flowgraph.preds fn in
+  let df = Array.make n [] in
+  for b = 0 to n - 1 do
+    if t.idom.(b) >= 0 && List.length preds.(b) >= 2 then
+      List.iter
+        (fun p ->
+          if t.idom.(p) >= 0 then begin
+            let runner = ref p in
+            while !runner <> t.idom.(b) do
+              if not (List.mem b df.(!runner)) then
+                df.(!runner) <- b :: df.(!runner);
+              runner := t.idom.(!runner)
+            done
+          end)
+        preds.(b)
+  done;
+  df

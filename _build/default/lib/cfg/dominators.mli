@@ -1,0 +1,19 @@
+(** Immediate dominators (Cooper-Harvey-Kennedy) and dominance frontiers. *)
+
+type t
+
+val compute : 'a Flowgraph.fn -> t
+
+val idom : t -> int -> int option
+(** Immediate dominator; [None] for unreachable blocks.  The entry block is
+    its own immediate dominator. *)
+
+val dominates : t -> int -> int -> bool
+(** [dominates t a b]: does [a] dominate [b]?  Reflexive. *)
+
+val dominator_tree : t -> int list array
+(** Children lists of the dominator tree. *)
+
+val frontiers : 'a Flowgraph.fn -> t -> int list array
+(** Dominance frontier of every block (Cytron et al.), for SSA phi
+    placement. *)

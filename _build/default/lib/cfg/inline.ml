@@ -1,0 +1,103 @@
+(* Virtual inlining (Section 5.2 of the paper): every call site receives
+   its own clone of the callee's CFG, so that downstream analyses see each
+   calling context separately.  This is what lets the cache analysis treat
+   the same function differently depending on execution history — and also
+   what causes the overestimation discussed in Section 6, since constraints
+   relating clones are lost unless added back by hand.
+
+   Recursion is rejected: the kernel under analysis has none. *)
+
+exception Recursive of string
+
+type origin = { func : string; orig_id : int; context : string }
+(* [context] is a path of call-site labels, e.g. "main/f@b3/g@b1". *)
+
+type 'a t = { fn : 'a Flowgraph.fn; origins : origin array }
+
+let inline (prog : 'a Flowgraph.program) : 'a t =
+  Flowgraph.validate_program prog;
+  let builder = Flowgraph.Builder.create (prog.Flowgraph.main ^ "!inlined") in
+  let origins = ref [] in
+  (* Clone one instance of [fname]; returns (entry_id, exit_ids).
+     [stack] guards against recursion. *)
+  let rec clone stack context fname =
+    if List.mem fname stack then raise (Recursive fname);
+    let fn = Flowgraph.find_fn prog fname in
+    let n = Flowgraph.num_blocks fn in
+    let map = Array.make n (-1) in
+    Array.iter
+      (fun b ->
+        let label = context ^ "/" ^ b.Flowgraph.label in
+        let id = Flowgraph.Builder.add builder ~label b.Flowgraph.payload in
+        map.(b.Flowgraph.id) <- id;
+        origins :=
+          (id, { func = fname; orig_id = b.Flowgraph.id; context })
+          :: !origins)
+      fn.Flowgraph.blocks;
+    let exit_ids = ref [] in
+    Array.iter
+      (fun b ->
+        let this = map.(b.Flowgraph.id) in
+        match b.Flowgraph.call with
+        | None ->
+            if b.Flowgraph.succs = [] then exit_ids := this :: !exit_ids;
+            List.iter
+              (fun s -> Flowgraph.Builder.edge builder this map.(s))
+              b.Flowgraph.succs
+        | Some callee ->
+            let context' =
+              Fmt.str "%s/%s@%s" context callee b.Flowgraph.label
+            in
+            let callee_entry, callee_exits =
+              clone (fname :: stack) context' callee
+            in
+            Flowgraph.Builder.edge builder this callee_entry;
+            (match b.Flowgraph.succs with
+            | [] ->
+                (* Tail position: the callee's exits are our exits. *)
+                exit_ids := callee_exits @ !exit_ids
+            | [ ret ] ->
+                List.iter
+                  (fun e -> Flowgraph.Builder.edge builder e map.(ret))
+                  callee_exits
+            | _ -> assert false (* validate_program rejects this *)))
+      fn.Flowgraph.blocks;
+    (map.(fn.Flowgraph.entry), !exit_ids)
+  in
+  let entry, _exits = clone [] prog.Flowgraph.main prog.Flowgraph.main in
+  Flowgraph.Builder.set_entry builder entry;
+  let fn = Flowgraph.Builder.finish builder in
+  let origin_array = Array.make (Flowgraph.num_blocks fn) None in
+  List.iter (fun (id, o) -> origin_array.(id) <- Some o) !origins;
+  {
+    fn;
+    origins =
+      Array.map
+        (function Some o -> o | None -> assert false)
+        origin_array;
+  }
+
+let origin t id = t.origins.(id)
+
+(* All inlined block ids originating from block [orig_id] of [func],
+   one per calling context. *)
+let instances t ~func ~orig_id =
+  let acc = ref [] in
+  Array.iteri
+    (fun id o ->
+      if o.func = func && o.orig_id = orig_id then acc := id :: !acc)
+    t.origins;
+  List.rev !acc
+
+(* Inlined blocks grouped by calling context of a given function: each
+   element is (context, block ids of that instance). *)
+let contexts_of t ~func =
+  let tbl = Hashtbl.create 8 in
+  Array.iteri
+    (fun id o ->
+      if o.func = func then
+        Hashtbl.replace tbl o.context
+          (id :: (try Hashtbl.find tbl o.context with Not_found -> [])))
+    t.origins;
+  Hashtbl.fold (fun ctx ids acc -> (ctx, List.rev ids) :: acc) tbl []
+  |> List.sort compare

@@ -1,0 +1,24 @@
+(** Virtual inlining: expand every call site into its own clone of the
+    callee, producing a single call-free CFG (Section 5.2 of the paper).
+
+    The origin table maps every inlined block back to its source function,
+    original block, and calling context — needed both to apply per-function
+    user constraints and to report worst-case paths readably. *)
+
+exception Recursive of string
+
+type origin = { func : string; orig_id : int; context : string }
+
+type 'a t = { fn : 'a Flowgraph.fn; origins : origin array }
+
+val inline : 'a Flowgraph.program -> 'a t
+(** @raise Recursive on (mutually) recursive call chains.
+    @raise Flowgraph.Malformed on invalid input. *)
+
+val origin : 'a t -> int -> origin
+
+val instances : 'a t -> func:string -> orig_id:int -> int list
+(** All inlined copies of a given source block, one per calling context. *)
+
+val contexts_of : 'a t -> func:string -> (string * int list) list
+(** Inlined block ids of every instance of [func], grouped by context. *)

@@ -1,0 +1,1 @@
+lib/core/experiments.ml: Fmt Hw Kernel_loops Kernel_model List Pinning Response_time Sel4 Wcet

@@ -1,0 +1,1 @@
+lib/core/experiments.mli: Hw Kernel_loops Kernel_model Sel4

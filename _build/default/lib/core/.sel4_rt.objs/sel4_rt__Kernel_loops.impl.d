@@ -1,0 +1,1 @@
+lib/core/kernel_loops.ml: Fmt Loopbound Tac

@@ -1,0 +1,1 @@
+lib/core/kernel_loops.mli: Fmt Tac

@@ -1,0 +1,1 @@
+lib/core/kernel_model.ml: Cfg Kernel_loops List Sel4 String Wcet

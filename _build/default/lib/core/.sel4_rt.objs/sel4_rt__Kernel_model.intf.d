@@ -1,0 +1,1 @@
+lib/core/kernel_model.mli: Sel4 Wcet

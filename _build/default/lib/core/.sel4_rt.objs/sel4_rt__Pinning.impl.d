@@ -1,0 +1,1 @@
+lib/core/pinning.ml: Fmt Hashtbl Hw Kernel_model List Sel4 Workloads

@@ -1,0 +1,1 @@
+lib/core/pinning.mli: Fmt Hw Sel4

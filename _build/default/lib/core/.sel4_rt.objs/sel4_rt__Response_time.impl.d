@@ -1,0 +1,1 @@
+lib/core/response_time.ml: Hw Kernel_model Wcet Workloads

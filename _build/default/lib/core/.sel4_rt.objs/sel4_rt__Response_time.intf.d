@@ -1,0 +1,1 @@
+lib/core/response_time.mli: Hw Kernel_model Sel4 Wcet

@@ -1,0 +1,1 @@
+lib/core/workloads.ml: Array Hw Kernel_model List Sel4

@@ -1,0 +1,47 @@
+(** The kernel's loops in the TAC mini-language, with their bounds
+    computed mechanically (Section 5.3): counter analysis where the shape
+    allows, slicing + bounded model checking otherwise, and the manual
+    annotation recorded for cross-checking. *)
+
+module L := Tac.Lang
+
+type loop_spec = {
+  name : string;
+  program : L.program;
+  header : string;
+  annotated : int;  (** the bound the kernel source asserts *)
+}
+
+val clear_loop : max_bytes:int -> chunk:int -> loop_spec
+(** Object clearing: for (off = 0; off < size; off += chunk). *)
+
+val decode_loop : loop_spec
+(** Capability decode: bits consumed per level are an input parameter, so
+    only the model checker can bound it. *)
+
+val priority_scan_loop : loop_spec
+(** The Figure 3 scheduler scan over 256 priorities. *)
+
+val asid_search_loop : pool_size:int -> loop_spec
+(** The ASID free-slot search of Section 3.6 (occupancy in memory). *)
+
+val badge_scan_loop : max_waiters:int -> loop_spec
+(** The Section 3.4 badged-abort scan over an in-memory linked list: the
+    trip count is carried through loads, so only the slice + model-check
+    pipeline can bound it. *)
+
+type method_used = Counter_analysis | Model_checking | Annotation_only
+
+type result = {
+  spec : loop_spec;
+  computed : int option;
+  method_used : method_used;
+  slice_stats : Tac.Slice.stats option;
+}
+
+val compute_bound : loop_spec -> result
+(** Counter analysis first, then slice + model-check, then give up. *)
+
+val catalogue : max_frame_bytes:int -> chunk:int -> result list
+val pp_method : method_used Fmt.t
+val pp_result : result Fmt.t

@@ -1,0 +1,18 @@
+(** Cache-pinning selection (Section 4): trace an interrupt delivery on
+    the executable kernel, rank the touched lines by frequency, and
+    greedily take what fits in one locked way per cache — plus the first
+    256 bytes of the kernel stack and the key scheduler/IRQ data words,
+    as the paper pinned. *)
+
+type selection = {
+  code_lines : int list;  (** I-cache line addresses *)
+  data_lines : int list;  (** D-cache line addresses *)
+}
+
+val select : Sel4.Build.t -> selection
+(** Trace-derived selection, at most one line per cache set. *)
+
+val install : selection -> Hw.Machine.t -> unit
+(** Pin the selection into a machine configured with locked ways. *)
+
+val pp : selection Fmt.t

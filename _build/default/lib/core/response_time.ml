@@ -1,0 +1,36 @@
+(* Response-time analysis driver: computed (IPET) and observed
+   (adversarial execution) worst cases per kernel entry point, and the
+   headline quantity of the paper — the worst-case interrupt response
+   time, which is the sum of the longest kernel operation (the system-call
+   path) and the interrupt path (Section 6). *)
+
+type pins = { code : int list; data : int list }
+
+let no_pins = { code = []; data = [] }
+
+let computed ?(params = Kernel_model.default_params) ?(pins = no_pins) ~config
+    build entry =
+  let spec = Kernel_model.spec ~params build entry in
+  Wcet.Ipet.analyse ~config ~pinned_code:pins.code ~pinned_data:pins.data spec
+
+let computed_cycles ?params ?pins ~config build entry =
+  (computed ?params ?pins ~config build entry).Wcet.Ipet.wcet
+
+(* Computed execution time of the realisable path (Section 6.2: extra ILP
+   constraints force analysis of the tested path). *)
+let computed_for_path ?(params = Kernel_model.default_params) ~config build
+    entry =
+  let spec = Kernel_model.spec ~params build entry in
+  let forced = Kernel_model.realisable_path ~params entry in
+  (Wcet.Ipet.analyse ~config ~forced spec).Wcet.Ipet.wcet
+
+let observed ?runs ?params ~config build entry =
+  Workloads.observed ?runs ?params ~config build entry
+
+(* Worst-case interrupt response: the longest non-preemptible kernel path
+   (the system call handler) plus the interrupt path itself. *)
+let interrupt_response_bound ?params ?pins ~config build =
+  computed_cycles ?params ?pins ~config build Kernel_model.Syscall
+  + computed_cycles ?params ?pins ~config build Kernel_model.Interrupt
+
+let us config cycles = Hw.Config.cycles_to_us config cycles

@@ -1,0 +1,53 @@
+(** Response-time analysis driver: computed (IPET) and observed
+    (adversarial execution) worst cases per kernel entry point.
+
+    The headline quantity follows Section 6: worst-case interrupt
+    response = WCET of the longest kernel operation (the system-call
+    path) + WCET of the interrupt path. *)
+
+type pins = { code : int list; data : int list }
+
+val no_pins : pins
+
+val computed :
+  ?params:Kernel_model.params ->
+  ?pins:pins ->
+  config:Hw.Config.t ->
+  Sel4.Build.t ->
+  Kernel_model.entry_point ->
+  Wcet.Ipet.result
+
+val computed_cycles :
+  ?params:Kernel_model.params ->
+  ?pins:pins ->
+  config:Hw.Config.t ->
+  Sel4.Build.t ->
+  Kernel_model.entry_point ->
+  int
+
+val computed_for_path :
+  ?params:Kernel_model.params ->
+  config:Hw.Config.t ->
+  Sel4.Build.t ->
+  Kernel_model.entry_point ->
+  int
+(** Predicted time of the realisable path the workloads execute, obtained
+    by forcing the ILP (Section 6.2); the Figure 8 numerator. *)
+
+val observed :
+  ?runs:int ->
+  ?params:Kernel_model.params ->
+  config:Hw.Config.t ->
+  Sel4.Build.t ->
+  Kernel_model.entry_point ->
+  int
+(** Worst cycles over [runs] polluted-cache adversarial executions. *)
+
+val interrupt_response_bound :
+  ?params:Kernel_model.params ->
+  ?pins:pins ->
+  config:Hw.Config.t ->
+  Sel4.Build.t ->
+  int
+
+val us : Hw.Config.t -> int -> float

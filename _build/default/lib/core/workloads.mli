@@ -1,0 +1,46 @@
+(** Adversarial workloads: best-effort recreation of worst cases on the
+    executable kernel (Section 5.4).  Caches are polluted with dirty lines
+    before each measured entry; the observed worst case is the maximum
+    over several pollution seeds. *)
+
+type scenario = {
+  env : Sel4.Boot.env;
+  cpu : Hw.Cpu.t;
+  measured_event : Sel4.Kernel.event;
+  victim : Sel4.Ktypes.tcb;  (** the thread that traps for the event *)
+}
+
+exception Scenario_failed of string
+
+val build_deep_cspace :
+  Sel4.Boot.env -> depth:int -> Sel4.Ktypes.cap * Sel4.Ktypes.cnode array
+(** The Figure 7 capability space: a chain of radix-1 CNodes, one decode
+    level per address bit.  Returns the root capability and the chain. *)
+
+val place_leaf :
+  Sel4.Kernel.t -> Sel4.Ktypes.cnode array -> level:int -> Sel4.Ktypes.cap -> int
+(** Install a leaf capability reachable through [level+1] decode levels;
+    returns its capability address. *)
+
+val scenario :
+  ?params:Kernel_model.params ->
+  config:Hw.Config.t ->
+  Sel4.Build.t ->
+  Kernel_model.entry_point ->
+  scenario
+(** Construct the worst-case scenario for one entry point: full-depth
+    decodes, maximum message, granted capabilities, waiting receiver /
+    registered handler / deep fault-handler address. *)
+
+val measure_once : scenario -> seed:int -> Sel4.Kernel.outcome * int
+(** Pollute the caches with [seed] and measure one kernel entry. *)
+
+val observed :
+  ?runs:int ->
+  ?params:Kernel_model.params ->
+  config:Hw.Config.t ->
+  Sel4.Build.t ->
+  Kernel_model.entry_point ->
+  int
+(** Maximum observed cycles over [runs] freshly built scenarios.
+    @raise Scenario_failed if the measured event fails outright. *)

@@ -1,0 +1,1 @@
+lib/hw/branch_predictor.ml: Array

@@ -1,0 +1,17 @@
+(** Bimodal (2-bit saturating counter) branch predictor.
+
+    Models the dynamic branch prediction of the ARM1136 that the paper
+    disables for analysis and re-enables for the Figure 9 measurements. *)
+
+type t
+
+val create : ?entries:int -> unit -> t
+(** [entries] must be a power of two (default 128). *)
+
+val predict_and_update : t -> pc:int -> taken:bool -> bool
+(** Predict the branch at [pc], update the counter with the actual outcome,
+    and return whether the prediction was correct. *)
+
+val reset : t -> unit
+val predictions : t -> int
+val mispredictions : t -> int

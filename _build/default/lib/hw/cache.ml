@@ -1,0 +1,220 @@
+(* Set-associative cache with way lockdown and a choice of replacement
+   policy.
+
+   The ARM1136's caches replace round-robin (or pseudo-random); true LRU
+   is the deterministic stand-in the rest of the simulator defaults to.
+   Both are supported — and both are soundly over-approximated by the
+   paper's one-way direct-mapped analysis model, because a model hit means
+   no other access touched the set in between, so no replacement policy
+   can have evicted the line.
+
+   Lockdown models the ARM1136 cache-pinning facility of Section 4: the
+   first [locked_ways] ways of every set are reserved for pinned lines,
+   and the replacement policy only ever considers the remaining ways. *)
+
+type policy = Lru | Round_robin
+
+type line = {
+  mutable tag : int;  (* -1 = invalid *)
+  mutable dirty : bool;
+  mutable pinned : bool;
+  mutable lru : int;  (* higher = more recently used *)
+}
+
+type t = {
+  line_size : int;
+  sets : int;
+  ways : int;
+  policy : policy;
+  mutable locked_ways : int;
+  data : line array array;  (* [set].(way) *)
+  rr_next : int array;  (* round-robin victim cursor, per set *)
+  mutable clock : int;  (* monotonic counter driving LRU ordering *)
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+  mutable dirty_evictions : int;
+}
+
+type outcome = Hit | Miss of { evicted_dirty : bool }
+
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+let create ?(policy = Lru) ~line_size ~sets ~ways () =
+  assert (is_pow2 line_size && is_pow2 sets && ways > 0);
+  let fresh_line () = { tag = -1; dirty = false; pinned = false; lru = 0 } in
+  {
+    line_size;
+    sets;
+    ways;
+    policy;
+    locked_ways = 0;
+    data = Array.init sets (fun _ -> Array.init ways (fun _ -> fresh_line ()));
+    rr_next = Array.make sets 0;
+    clock = 0;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+    dirty_evictions = 0;
+  }
+
+let line_size t = t.line_size
+let sets t = t.sets
+let ways t = t.ways
+let size_bytes t = t.line_size * t.sets * t.ways
+
+let lock_ways t k =
+  if k < 0 || k >= t.ways then
+    invalid_arg "Cache.lock_ways: must leave at least one unlocked way";
+  t.locked_ways <- k
+
+let locked_ways t = t.locked_ways
+
+let set_index t addr = addr / t.line_size mod t.sets
+let tag_of t addr = addr / t.line_size / t.sets
+let line_addr t addr = addr / t.line_size * t.line_size
+
+let touch t line =
+  t.clock <- t.clock + 1;
+  line.lru <- t.clock
+
+let find_way set tag =
+  let n = Array.length set in
+  let rec loop i =
+    if i >= n then None
+    else if set.(i).tag = tag then Some set.(i)
+    else loop (i + 1)
+  in
+  loop 0
+
+(* Victim selection among the unlocked ways: least-recently-used (invalid
+   lines carry lru = 0 and lose ties), or the ARM1136's rotating cursor. *)
+let victim t si set =
+  match t.policy with
+  | Lru ->
+      let best = ref t.locked_ways in
+      for way = t.locked_ways + 1 to t.ways - 1 do
+        if set.(way).lru < set.(!best).lru then best := way
+      done;
+      set.(!best)
+  | Round_robin ->
+      let unlocked = t.ways - t.locked_ways in
+      let way = t.locked_ways + (t.rr_next.(si) mod unlocked) in
+      t.rr_next.(si) <- (t.rr_next.(si) + 1) mod unlocked;
+      set.(way)
+
+let access t ~write addr =
+  let si = set_index t addr in
+  let set = t.data.(si) in
+  let tag = tag_of t addr in
+  match find_way set tag with
+  | Some line ->
+      t.hits <- t.hits + 1;
+      if write then line.dirty <- true;
+      if not line.pinned then touch t line;
+      Hit
+  | None ->
+      t.misses <- t.misses + 1;
+      if t.locked_ways >= t.ways then Miss { evicted_dirty = false }
+      else begin
+        let line = victim t si set in
+        let evicted_dirty = line.tag >= 0 && line.dirty in
+        if line.tag >= 0 then begin
+          t.evictions <- t.evictions + 1;
+          if line.dirty then t.dirty_evictions <- t.dirty_evictions + 1
+        end;
+        line.tag <- tag;
+        line.dirty <- write;
+        line.pinned <- false;
+        touch t line;
+        Miss { evicted_dirty }
+      end
+
+let probe t addr = find_way t.data.(set_index t addr) (tag_of t addr) <> None
+
+let pin t addr =
+  if t.locked_ways = 0 then false
+  else begin
+    let set = t.data.(set_index t addr) in
+    let tag = tag_of t addr in
+    match find_way set tag with
+    | Some line ->
+        line.pinned <- true;
+        true
+    | None ->
+        (* Install in the first free locked way of the set, if any. *)
+        let rec place way =
+          if way >= t.locked_ways then false
+          else if set.(way).tag = -1 || not set.(way).pinned then begin
+            set.(way).tag <- tag;
+            set.(way).dirty <- false;
+            set.(way).pinned <- true;
+            touch t set.(way);
+            true
+          end
+          else place (way + 1)
+        in
+        place 0
+  end
+
+let pinned t addr =
+  match find_way t.data.(set_index t addr) (tag_of t addr) with
+  | Some line -> line.pinned
+  | None -> false
+
+let flush ?(keep_pinned = true) t =
+  Array.iter
+    (fun set ->
+      Array.iter
+        (fun line ->
+          if not (keep_pinned && line.pinned) then begin
+            line.tag <- -1;
+            line.dirty <- false;
+            line.pinned <- false;
+            line.lru <- 0
+          end)
+        set)
+    t.data
+
+(* Fill every non-locked way of every set with dirty junk lines whose tags
+   cannot collide with real addresses (tags beyond the address space).  Used
+   to create the cold, polluted cache state of the paper's worst-case
+   measurement runs (Section 5.4). *)
+let pollute ?(dirty = true) t ~seed =
+  let junk_tag set way = max_int / 2 + (set * t.ways) + way + (seed land 0xffff) in
+  Array.iteri
+    (fun si set ->
+      Array.iteri
+        (fun wi line ->
+          if not line.pinned then begin
+            line.tag <- junk_tag si wi;
+            line.dirty <- dirty;
+            line.lru <- 0
+          end)
+        set)
+    t.data
+
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  dirty_evictions : int;
+}
+
+let stats (t : t) =
+  {
+    hits = t.hits;
+    misses = t.misses;
+    evictions = t.evictions;
+    dirty_evictions = t.dirty_evictions;
+  }
+
+let reset_stats (t : t) =
+  t.hits <- 0;
+  t.misses <- 0;
+  t.evictions <- 0;
+  t.dirty_evictions <- 0
+
+let pp_stats ppf s =
+  Fmt.pf ppf "hits=%d misses=%d evictions=%d dirty=%d" s.hits s.misses
+    s.evictions s.dirty_evictions

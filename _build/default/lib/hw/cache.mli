@@ -1,0 +1,66 @@
+(** Set-associative cache with true-LRU replacement and way lockdown.
+
+    Way lockdown models the ARM1136 cache-pinning facility used in Section 4
+    of the paper: the first [k] ways of every set can be reserved for pinned
+    lines, which the replacement policy then never evicts. *)
+
+type t
+
+type policy = Lru | Round_robin
+(** The ARM1136 replaces round-robin (or pseudo-random); LRU is the
+    deterministic stand-in the simulator defaults to.  The conservative
+    one-way analysis model of Section 5.1 is sound for both. *)
+
+type outcome = Hit | Miss of { evicted_dirty : bool }
+
+val create : ?policy:policy -> line_size:int -> sets:int -> ways:int -> unit -> t
+(** [line_size] and [sets] must be powers of two.  Default policy: LRU. *)
+
+val line_size : t -> int
+val sets : t -> int
+val ways : t -> int
+val size_bytes : t -> int
+
+val lock_ways : t -> int -> unit
+(** Reserve the first [k] ways of every set for pinned lines.  At least one
+    way must remain unlocked. *)
+
+val locked_ways : t -> int
+
+val set_index : t -> int -> int
+(** Set index of an address (for conflict reasoning in tests/analysis). *)
+
+val line_addr : t -> int -> int
+(** Address rounded down to its line boundary. *)
+
+val access : t -> write:bool -> int -> outcome
+(** Perform an access, updating LRU state and inserting the line on a miss
+    (into an unlocked way). *)
+
+val probe : t -> int -> bool
+(** Does the address currently hit?  No state update. *)
+
+val pin : t -> int -> bool
+(** Install the line containing the address into a locked way and mark it
+    pinned.  Returns [false] if no locked way is available in its set. *)
+
+val pinned : t -> int -> bool
+
+val flush : ?keep_pinned:bool -> t -> unit
+(** Invalidate all lines; pinned lines are kept unless [keep_pinned:false]. *)
+
+val pollute : ?dirty:bool -> t -> seed:int -> unit
+(** Fill all unpinned ways with junk lines (dirty by default), recreating
+    the cold polluted-cache state used for worst-case measurements
+    (Section 5.4). *)
+
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  dirty_evictions : int;
+}
+
+val stats : t -> stats
+val reset_stats : t -> unit
+val pp_stats : stats Fmt.t

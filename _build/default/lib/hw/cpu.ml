@@ -1,0 +1,111 @@
+(* Cycle accounting for simulated kernel execution.
+
+   The kernel model charges its work through this interface: straight-line
+   instruction execution (with instruction fetches through the I-cache),
+   data loads/stores (through the D-cache) and branches.  The accumulated
+   cycle counter plays the role of the ARM1136 performance-monitoring-unit
+   cycle counter used for the paper's measurements. *)
+
+type counters = {
+  instructions : int;
+  loads : int;
+  stores : int;
+  branches : int;
+  cycles : int;
+}
+
+type access_kind = Fetch | Load | Store
+
+type t = {
+  machine : Machine.t;
+  mutable cycles : int;
+  mutable instructions : int;
+  mutable loads : int;
+  mutable stores : int;
+  mutable branches : int;
+  mutable tracer : (access_kind -> int -> unit) option;
+      (* observation hook used to derive cache-pinning candidates from
+         execution traces *)
+}
+
+let create config =
+  {
+    machine = Machine.create config;
+    cycles = 0;
+    instructions = 0;
+    loads = 0;
+    stores = 0;
+    branches = 0;
+    tracer = None;
+  }
+
+let of_machine machine =
+  {
+    machine;
+    cycles = 0;
+    instructions = 0;
+    loads = 0;
+    stores = 0;
+    branches = 0;
+    tracer = None;
+  }
+
+let set_tracer t f = t.tracer <- Some f
+let clear_tracer t = t.tracer <- None
+
+let trace t kind addr =
+  match t.tracer with None -> () | Some f -> f kind addr
+
+let machine t = t.machine
+let config t = Machine.config t.machine
+let cycles t = t.cycles
+
+let tick t n =
+  assert (n >= 0);
+  t.cycles <- t.cycles + n
+
+(* Execute [count] single-cycle instructions fetched sequentially starting
+   at code address [base].  Fetch stalls are charged per I-cache line: the
+   first access to a line misses, the remaining instructions on it hit. *)
+let exec t ~base ~count =
+  assert (count >= 0);
+  t.instructions <- t.instructions + count;
+  t.cycles <- t.cycles + count;
+  for i = 0 to count - 1 do
+    trace t Fetch (base + (4 * i));
+    t.cycles <- t.cycles + Machine.fetch t.machine (base + (4 * i))
+  done
+
+let load t addr =
+  t.loads <- t.loads + 1;
+  trace t Load addr;
+  t.cycles <- t.cycles + Machine.read t.machine addr
+
+let store t addr =
+  t.stores <- t.stores + 1;
+  trace t Store addr;
+  t.cycles <- t.cycles + Machine.write t.machine addr
+
+let branch t ~pc ~taken =
+  t.branches <- t.branches + 1;
+  t.cycles <- t.cycles + Machine.branch t.machine ~pc ~taken
+
+let counters t =
+  {
+    instructions = t.instructions;
+    loads = t.loads;
+    stores = t.stores;
+    branches = t.branches;
+    cycles = t.cycles;
+  }
+
+let reset t =
+  t.cycles <- 0;
+  t.instructions <- 0;
+  t.loads <- 0;
+  t.stores <- 0;
+  t.branches <- 0
+
+let pp_counters ppf (c : counters) =
+  Fmt.pf ppf "instrs=%d loads=%d stores=%d branches=%d cycles=%d"
+    c.instructions c.loads c.stores c.branches c.cycles

@@ -1,0 +1,46 @@
+(** Cycle accounting for simulated kernel execution.
+
+    The kernel model charges all of its work through this interface; the
+    accumulated cycle count stands in for the ARM1136 cycle counter used in
+    the paper's measurements. *)
+
+type t
+
+type counters = {
+  instructions : int;
+  loads : int;
+  stores : int;
+  branches : int;
+  cycles : int;
+}
+
+val create : Config.t -> t
+val of_machine : Machine.t -> t
+val machine : t -> Machine.t
+val config : t -> Config.t
+
+val cycles : t -> int
+(** Cycles accumulated so far. *)
+
+val tick : t -> int -> unit
+(** Charge a raw number of cycles (e.g. fixed exception-entry microcode). *)
+
+val exec : t -> base:int -> count:int -> unit
+(** Execute [count] single-cycle instructions fetched sequentially from code
+    address [base], charging I-cache fetch stalls. *)
+
+val load : t -> int -> unit
+val store : t -> int -> unit
+val branch : t -> pc:int -> taken:bool -> unit
+
+type access_kind = Fetch | Load | Store
+
+val set_tracer : t -> (access_kind -> int -> unit) -> unit
+(** Observe every access (before it hits the caches); used to derive
+    cache-pinning candidates from execution traces (Section 4). *)
+
+val clear_tracer : t -> unit
+
+val counters : t -> counters
+val reset : t -> unit
+val pp_counters : counters Fmt.t

@@ -1,0 +1,104 @@
+(* Memory hierarchy and branch costs for the simulated platform.
+
+   Access costs (in cycles):
+   - L1 hit: [l1_hit_cycles]
+   - L1 miss, L2 hit (L2 enabled): [l2_hit_cycles]
+   - L1 miss, L2 miss or disabled: external memory latency (60 cycles with
+     the L2 off, 96 with it on, matching the KZM board in Section 5.1)
+   - a dirty eviction at either level adds a write-back cost.
+   Branches cost a constant [branch_cost_static] cycles with the predictor
+   disabled, otherwise [branch_cost_predicted] / [branch_cost_mispredicted]. *)
+
+type t = {
+  config : Config.t;
+  icache : Cache.t;
+  dcache : Cache.t;
+  l2 : Cache.t option;
+  bpred : Branch_predictor.t;
+}
+
+let create (config : Config.t) =
+  let policy =
+    match config.Config.replacement with
+    | Config.Lru -> Cache.Lru
+    | Config.Round_robin -> Cache.Round_robin
+  in
+  let l1 () =
+    Cache.create ~policy ~line_size:config.l1_line ~sets:config.l1_sets
+      ~ways:config.l1_ways ()
+  in
+  let icache = l1 () and dcache = l1 () in
+  Cache.lock_ways icache config.locked_ways_i;
+  Cache.lock_ways dcache config.locked_ways_d;
+  let l2 =
+    if config.l2_enabled then
+      Some
+        (Cache.create ~policy ~line_size:config.l2_line ~sets:config.l2_sets
+           ~ways:config.l2_ways ())
+    else None
+  in
+  { config; icache; dcache; l2; bpred = Branch_predictor.create () }
+
+let config t = t.config
+let icache t = t.icache
+let dcache t = t.dcache
+let l2 t = t.l2
+
+let mem_latency t = Config.mem_cycles t.config
+let writeback_cost t = Config.writeback_cycles t.config
+
+(* Cost of an access that missed in L1, possibly serviced by the L2.
+   Addresses inside the L2-locked range are always resident there
+   (Section 8), so they cost an L2 hit and touch no L2 state. *)
+let below_l1 t ~write addr =
+  match t.l2 with
+  | None -> mem_latency t
+  | Some _ when Config.l2_locked t.config addr -> t.config.l2_hit_cycles
+  | Some l2 -> (
+      match Cache.access l2 ~write addr with
+      | Cache.Hit -> t.config.l2_hit_cycles
+      | Cache.Miss { evicted_dirty } ->
+          mem_latency t + if evicted_dirty then writeback_cost t else 0)
+
+let data_access t ~write addr =
+  match Cache.access t.dcache ~write addr with
+  | Cache.Hit -> t.config.l1_hit_cycles
+  | Cache.Miss { evicted_dirty } ->
+      (* A dirty L1 eviction writes back to the L2 when one exists (the
+         write is absorbed by the L2 and its buffers); only without an L2
+         does it pay the memory-latency write-back. *)
+      below_l1 t ~write addr
+      + if evicted_dirty && t.l2 = None then writeback_cost t else 0
+
+let read t addr = data_access t ~write:false addr
+let write t addr = data_access t ~write:true addr
+
+let fetch t addr =
+  match Cache.access t.icache ~write:false addr with
+  | Cache.Hit -> 0 (* fetch overlaps with execution on a hit *)
+  | Cache.Miss { evicted_dirty } ->
+      below_l1 t ~write:false addr
+      + if evicted_dirty && t.l2 = None then writeback_cost t else 0
+
+let branch t ~pc ~taken =
+  if not t.config.branch_predictor then t.config.branch_cost_static
+  else if Branch_predictor.predict_and_update t.bpred ~pc ~taken then
+    t.config.branch_cost_predicted
+  else t.config.branch_cost_mispredicted
+
+let pin_icache t addr = Cache.pin t.icache addr
+let pin_dcache t addr = Cache.pin t.dcache addr
+
+let pollute t ~seed =
+  Cache.pollute t.icache ~seed;
+  Cache.pollute t.dcache ~seed:(seed + 1);
+  (* The L2's junk is clean: its write-back traffic is not part of the
+     latency the measured path pays on real hardware (write buffers). *)
+  Option.iter (fun l2 -> Cache.pollute ~dirty:false l2 ~seed:(seed + 2)) t.l2;
+  Branch_predictor.reset t.bpred
+
+let flush t =
+  Cache.flush t.icache;
+  Cache.flush t.dcache;
+  Option.iter Cache.flush t.l2;
+  Branch_predictor.reset t.bpred

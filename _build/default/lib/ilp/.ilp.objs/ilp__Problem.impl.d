@@ -1,0 +1,1 @@
+lib/ilp/problem.ml: Array Fmt Fun List Rat Simplex

@@ -1,0 +1,1 @@
+lib/ilp/problem.mli: Fmt Rat Simplex

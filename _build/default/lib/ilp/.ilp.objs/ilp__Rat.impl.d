@@ -1,0 +1,1 @@
+lib/ilp/rat.ml: Fmt Stdlib

@@ -1,0 +1,97 @@
+(* Named-variable ILP/LP problem builder.
+
+   A thin convenience layer over {!Simplex}: variables are created by name,
+   constraints are integer-coefficient linear combinations, and the whole
+   problem can be rendered for debugging (the paper's Section 5.2 works by
+   inspecting and manually extending exactly such constraint systems). *)
+
+type var = int
+
+type relation = Le | Ge | Eq
+
+type cstr = {
+  label : string;
+  terms : (int * var) list;
+  relation : relation;
+  bound : int;
+}
+
+type t = {
+  mutable names : string list;  (* reversed *)
+  mutable count : int;
+  mutable constraints : cstr list;  (* reversed *)
+  mutable objective : (int * var) list;
+}
+
+let create () = { names = []; count = 0; constraints = []; objective = [] }
+
+let var t name =
+  let v = t.count in
+  t.names <- name :: t.names;
+  t.count <- t.count + 1;
+  v
+
+let num_vars t = t.count
+
+let name t v =
+  let names = Array.of_list (List.rev t.names) in
+  names.(v)
+
+let add_constraint ?(label = "") t terms relation bound =
+  List.iter (fun (_, v) -> assert (v >= 0 && v < t.count)) terms;
+  t.constraints <- { label; terms; relation; bound } :: t.constraints
+
+let add_le ?label t terms bound = add_constraint ?label t terms Le bound
+let add_ge ?label t terms bound = add_constraint ?label t terms Ge bound
+let add_eq ?label t terms bound = add_constraint ?label t terms Eq bound
+let set_objective t terms = t.objective <- terms
+
+let constraints t = List.rev t.constraints
+let num_constraints t = List.length t.constraints
+
+let to_lp ?(extra = []) t : Simplex.lp =
+  let row terms =
+    let coeffs = Array.make t.count Rat.zero in
+    List.iter
+      (fun (c, v) -> coeffs.(v) <- Rat.add coeffs.(v) (Rat.of_int c))
+      terms;
+    coeffs
+  in
+  let convert { terms; relation; bound; _ } =
+    let op =
+      match relation with
+      | Le -> Simplex.Le
+      | Ge -> Simplex.Ge
+      | Eq -> Simplex.Eq
+    in
+    (row terms, op, Rat.of_int bound)
+  in
+  {
+    Simplex.num_vars = t.count;
+    maximize = row t.objective;
+    constraints = List.rev_map convert t.constraints @ List.map convert extra;
+  }
+
+let solve_relaxation ?extra t = Simplex.solve (to_lp ?extra t)
+
+let vars t = List.init t.count Fun.id
+let solution_value (s : Simplex.solution) v = s.values.(v)
+
+let pp ppf t =
+  let pp_term ppf (c, v) =
+    if c = 1 then Fmt.string ppf (name t v)
+    else Fmt.pf ppf "%d %s" c (name t v)
+  in
+  let pp_terms = Fmt.(list ~sep:(any " + ") pp_term) in
+  let pp_rel ppf = function
+    | Le -> Fmt.string ppf "<="
+    | Ge -> Fmt.string ppf ">="
+    | Eq -> Fmt.string ppf "="
+  in
+  Fmt.pf ppf "@[<v>maximize %a@,subject to:@," pp_terms t.objective;
+  List.iter
+    (fun c ->
+      Fmt.pf ppf "  %a %a %d%s@," pp_terms c.terms pp_rel c.relation c.bound
+        (if c.label = "" then "" else "    ; " ^ c.label))
+    (constraints t);
+  Fmt.pf ppf "@]"

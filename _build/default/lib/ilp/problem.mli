@@ -1,0 +1,51 @@
+(** Named-variable ILP/LP problem builder over integer coefficients.
+
+    All variables are implicitly non-negative.  This is the constraint
+    language the IPET analysis emits; labels on constraints make the
+    generated systems readable, mirroring the manual constraint-inspection
+    workflow of Section 5.2 of the paper. *)
+
+type var = private int
+(** Dense indices in creation order; solution arrays are indexed by them. *)
+
+type relation = Le | Ge | Eq
+
+type cstr = {
+  label : string;
+  terms : (int * var) list;
+  relation : relation;
+  bound : int;
+}
+
+type t
+
+val create : unit -> t
+
+val var : t -> string -> var
+(** Fresh non-negative variable. *)
+
+val num_vars : t -> int
+val name : t -> var -> string
+
+val add_le : ?label:string -> t -> (int * var) list -> int -> unit
+val add_ge : ?label:string -> t -> (int * var) list -> int -> unit
+val add_eq : ?label:string -> t -> (int * var) list -> int -> unit
+
+val set_objective : t -> (int * var) list -> unit
+(** Objective to maximise. *)
+
+val constraints : t -> cstr list
+val num_constraints : t -> int
+
+val to_lp : ?extra:cstr list -> t -> Simplex.lp
+(** Render for the simplex; [extra] constraints are appended (used by branch
+    and bound and by path forcing). *)
+
+val solve_relaxation : ?extra:cstr list -> t -> Simplex.result
+
+val vars : t -> var list
+(** All variables, in creation order. *)
+
+val solution_value : Simplex.solution -> var -> Rat.t
+
+val pp : t Fmt.t

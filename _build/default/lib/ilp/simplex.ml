@@ -1,0 +1,238 @@
+(* Two-phase dense simplex over exact rationals.
+
+   Standard textbook algorithm with Bland's anti-cycling rule:
+   - constraints are normalised to non-negative right-hand sides;
+   - Le constraints get a slack variable, Ge a surplus plus an artificial,
+     Eq an artificial;
+   - phase 1 maximises minus the sum of artificials; a negative optimum
+     means the problem is infeasible;
+   - phase 2 maximises the user objective with artificial columns banned.
+
+   Exact rationals (with overflow detection) make the solver sound, which
+   matters because its output is a claimed *upper bound* on execution time. *)
+
+type op = Le | Ge | Eq
+
+type lp = {
+  num_vars : int;
+  maximize : Rat.t array;
+  constraints : (Rat.t array * op * Rat.t) list;
+}
+
+type solution = { objective : Rat.t; values : Rat.t array }
+type result = Optimal of solution | Infeasible | Unbounded
+
+type tableau = {
+  rows : Rat.t array array;  (* m rows, each of width [cols] *)
+  rhs : Rat.t array;
+  basis : int array;  (* column index of the basic variable of each row *)
+  cost : Rat.t array;  (* current reduced costs *)
+  mutable objective : Rat.t;
+  cols : int;
+  art_first : int;  (* first artificial column; cols if none *)
+}
+
+let pivot t ~row ~col =
+  let piv = t.rows.(row).(col) in
+  assert (Rat.sign piv > 0);
+  let inv = Rat.inv piv in
+  let r = t.rows.(row) in
+  for j = 0 to t.cols - 1 do
+    r.(j) <- Rat.mul r.(j) inv
+  done;
+  t.rhs.(row) <- Rat.mul t.rhs.(row) inv;
+  let eliminate coeffs =
+    let factor = coeffs.(col) in
+    if Rat.is_zero factor then Rat.zero
+    else begin
+      for j = 0 to t.cols - 1 do
+        coeffs.(j) <- Rat.sub coeffs.(j) (Rat.mul factor r.(j))
+      done;
+      Rat.mul factor t.rhs.(row)
+    end
+  in
+  Array.iteri
+    (fun i coeffs ->
+      if i <> row then t.rhs.(i) <- Rat.sub t.rhs.(i) (eliminate coeffs))
+    t.rows;
+  (* The cost row represents z = objective + sum cbar_j x_j, so its constant
+     moves with the opposite sign from the constraint rows. *)
+  t.objective <- Rat.add t.objective (eliminate t.cost);
+  t.basis.(row) <- col
+
+(* One simplex phase: maximise until no improving column.  [allowed col]
+   filters which columns may enter the basis (used to ban artificials in
+   phase 2).  Bland's rule: smallest-index entering column; ratio-test ties
+   broken by smallest basic-variable index. *)
+let iterate t ~allowed =
+  let m = Array.length t.rows in
+  let rec step () =
+    let entering = ref (-1) in
+    (try
+       for j = 0 to t.cols - 1 do
+         if allowed j && Rat.sign t.cost.(j) > 0 then begin
+           entering := j;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    if !entering < 0 then `Optimal
+    else begin
+      let col = !entering in
+      let leave = ref (-1) in
+      let best = ref Rat.zero in
+      for i = 0 to m - 1 do
+        if Rat.sign t.rows.(i).(col) > 0 then begin
+          let ratio = Rat.div t.rhs.(i) t.rows.(i).(col) in
+          if
+            !leave < 0
+            || Rat.lt ratio !best
+            || (Rat.equal ratio !best && t.basis.(i) < t.basis.(!leave))
+          then begin
+            leave := i;
+            best := ratio
+          end
+        end
+      done;
+      if !leave < 0 then `Unbounded
+      else begin
+        pivot t ~row:!leave ~col;
+        step ()
+      end
+    end
+  in
+  step ()
+
+let solve lp =
+  let m = List.length lp.constraints in
+  (* Normalise to non-negative rhs and count extra columns. *)
+  let normalised =
+    List.map
+      (fun (coeffs, op, rhs) ->
+        assert (Array.length coeffs = lp.num_vars);
+        if Rat.sign rhs < 0 then
+          let flipped =
+            match op with Le -> Ge | Ge -> Le | Eq -> Eq
+          in
+          (Array.map Rat.neg coeffs, flipped, Rat.neg rhs)
+        else (Array.map Fun.id coeffs, op, rhs))
+      lp.constraints
+  in
+  let n_slack =
+    List.length (List.filter (fun (_, op, _) -> op <> Eq) normalised)
+  in
+  let n_art =
+    List.length (List.filter (fun (_, op, _) -> op <> Le) normalised)
+  in
+  let art_first = lp.num_vars + n_slack in
+  let cols = art_first + n_art in
+  let rows = Array.init m (fun _ -> Array.make cols Rat.zero) in
+  let rhs = Array.make m Rat.zero in
+  let basis = Array.make m (-1) in
+  let next_slack = ref lp.num_vars in
+  let next_art = ref art_first in
+  List.iteri
+    (fun i (coeffs, op, b) ->
+      Array.blit coeffs 0 rows.(i) 0 lp.num_vars;
+      rhs.(i) <- b;
+      (match op with
+      | Le ->
+          rows.(i).(!next_slack) <- Rat.one;
+          basis.(i) <- !next_slack;
+          incr next_slack
+      | Ge ->
+          rows.(i).(!next_slack) <- Rat.minus_one;
+          incr next_slack;
+          rows.(i).(!next_art) <- Rat.one;
+          basis.(i) <- !next_art;
+          incr next_art
+      | Eq ->
+          rows.(i).(!next_art) <- Rat.one;
+          basis.(i) <- !next_art;
+          incr next_art);
+      ())
+    normalised;
+  let t =
+    { rows; rhs; basis; cost = Array.make cols Rat.zero; objective = Rat.zero;
+      cols; art_first }
+  in
+  (* Phase 1: maximise -(sum of artificials).  With artificials basic, the
+     reduced costs are the column sums over the artificial rows. *)
+  if n_art > 0 then begin
+    for i = 0 to m - 1 do
+      if basis.(i) >= art_first then begin
+        for j = 0 to cols - 1 do
+          if j < art_first then t.cost.(j) <- Rat.add t.cost.(j) rows.(i).(j)
+        done;
+        t.objective <- Rat.sub t.objective rhs.(i)
+      end
+    done;
+    match iterate t ~allowed:(fun j -> j < art_first) with
+    | `Unbounded -> assert false (* phase-1 objective is bounded above by 0 *)
+    | `Optimal ->
+        if Rat.sign t.objective < 0 then raise Exit
+  end;
+  (* Drive any artificial still in the basis (at value 0) out, or mark its
+     row redundant by zeroing it. *)
+  for i = 0 to m - 1 do
+    if t.basis.(i) >= art_first then begin
+      let piv = ref (-1) in
+      (try
+         for j = 0 to art_first - 1 do
+           if Rat.sign t.rows.(i).(j) <> 0 then begin
+             piv := j;
+             raise Exit
+           end
+         done
+       with Exit -> ());
+      if !piv >= 0 then begin
+        (* The row is degenerate (rhs = 0), so a negative pivot element can
+           be made positive by negating the whole row. *)
+        if Rat.sign t.rows.(i).(!piv) < 0 then begin
+          t.rows.(i) <- Array.map Rat.neg t.rows.(i);
+          t.rhs.(i) <- Rat.neg t.rhs.(i)
+        end;
+        pivot t ~row:i ~col:!piv
+      end
+      else begin
+        (* Redundant row: clear it so it can never constrain anything. *)
+        Array.fill t.rows.(i) 0 cols Rat.zero;
+        t.rhs.(i) <- Rat.zero;
+        t.rows.(i).(t.basis.(i)) <- Rat.one
+      end
+    end
+  done;
+  (* Phase 2: install the user objective and price out basic columns. *)
+  Array.fill t.cost 0 cols Rat.zero;
+  t.objective <- Rat.zero;
+  Array.blit lp.maximize 0 t.cost 0 lp.num_vars;
+  for i = 0 to m - 1 do
+    let b = t.basis.(i) in
+    if b < lp.num_vars then begin
+      let c = lp.maximize.(b) in
+      if not (Rat.is_zero c) then begin
+        for j = 0 to cols - 1 do
+          t.cost.(j) <- Rat.sub t.cost.(j) (Rat.mul c t.rows.(i).(j))
+        done;
+        t.objective <- Rat.add t.objective (Rat.mul c t.rhs.(i))
+      end
+    end
+  done;
+  match iterate t ~allowed:(fun j -> j < art_first) with
+  | `Unbounded -> Unbounded
+  | `Optimal ->
+      let values = Array.make lp.num_vars Rat.zero in
+      for i = 0 to m - 1 do
+        if t.basis.(i) < lp.num_vars then values.(t.basis.(i)) <- t.rhs.(i)
+      done;
+      Optimal { objective = t.objective; values }
+
+let solve lp = try solve lp with Exit -> Infeasible
+
+let pp_result ppf = function
+  | Infeasible -> Fmt.string ppf "infeasible"
+  | Unbounded -> Fmt.string ppf "unbounded"
+  | Optimal { objective; values } ->
+      Fmt.pf ppf "optimal %a at (%a)" Rat.pp objective
+        Fmt.(array ~sep:comma Rat.pp)
+        values

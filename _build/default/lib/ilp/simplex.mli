@@ -1,0 +1,19 @@
+(** Two-phase dense simplex over exact rationals, with Bland's rule.
+
+    Solves [max c.x  s.t.  A x {<=,>=,=} b,  x >= 0].  Exactness matters
+    because the solver's output is used as a claimed sound upper bound on
+    worst-case execution time. *)
+
+type op = Le | Ge | Eq
+
+type lp = {
+  num_vars : int;
+  maximize : Rat.t array;  (** objective coefficients, length [num_vars] *)
+  constraints : (Rat.t array * op * Rat.t) list;
+}
+
+type solution = { objective : Rat.t; values : Rat.t array }
+type result = Optimal of solution | Infeasible | Unbounded
+
+val solve : lp -> result
+val pp_result : result Fmt.t

@@ -1,0 +1,1 @@
+lib/kernel/boot.ml: Array Build Cdt Fmt Kernel Ktypes List Sched Untyped_ops

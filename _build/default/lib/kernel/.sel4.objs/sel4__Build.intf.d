@@ -1,0 +1,1 @@
+lib/kernel/build.mli: Fmt

@@ -1,0 +1,1 @@
+lib/kernel/cdt.ml: Costs Ctx Ktypes Layout List

@@ -1,0 +1,1 @@
+lib/kernel/cdt.mli: Ctx Ktypes

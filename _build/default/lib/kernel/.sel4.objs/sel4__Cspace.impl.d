@@ -1,0 +1,1 @@
+lib/kernel/cspace.ml: Array Cdt Costs Ctx Fmt Ktypes Result

@@ -1,0 +1,1 @@
+lib/kernel/ctx.ml: Build Costs Hw Layout

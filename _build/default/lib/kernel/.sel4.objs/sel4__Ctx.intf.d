@@ -1,0 +1,1 @@
+lib/kernel/ctx.mli: Build Hw

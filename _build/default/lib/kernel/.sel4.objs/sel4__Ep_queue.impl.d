@@ -1,0 +1,1 @@
+lib/kernel/ep_queue.ml: Costs Ctx Ktypes List

@@ -1,0 +1,1 @@
+lib/kernel/ep_queue.mli: Ctx Ktypes

@@ -1,0 +1,1 @@
+lib/kernel/invariants.ml: Array Build Cdt Fmt Kernel Ktypes List Objects Result Sched Vspace

@@ -1,0 +1,1 @@
+lib/kernel/invariants.mli: Kernel Result

@@ -1,0 +1,1 @@
+lib/kernel/kernel.ml: Array Build Cdt Costs Cspace Ctx Ep_queue Fmt Hashtbl Ktypes Layout List Ntfn_queue Objects Result Sched Untyped_ops Vspace

@@ -1,0 +1,1 @@
+lib/kernel/kernel.mli: Build Ctx Hashtbl Hw Ktypes Sched Vspace

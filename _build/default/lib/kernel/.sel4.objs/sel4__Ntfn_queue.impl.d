@@ -1,0 +1,1 @@
+lib/kernel/ntfn_queue.ml: Costs Ctx Ktypes List

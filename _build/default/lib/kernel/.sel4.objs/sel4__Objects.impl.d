@@ -1,0 +1,1 @@
+lib/kernel/objects.ml: Array Costs Fmt Ktypes

@@ -1,0 +1,1 @@
+lib/kernel/sched.ml: Array Build Costs Ctx Ktypes Layout List

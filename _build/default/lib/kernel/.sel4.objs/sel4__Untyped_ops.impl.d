@@ -1,0 +1,1 @@
+lib/kernel/untyped_ops.ml: Array Build Cdt Costs Ctx Fmt Ktypes List Objects Vspace

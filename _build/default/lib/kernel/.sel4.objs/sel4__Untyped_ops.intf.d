@@ -1,0 +1,1 @@
+lib/kernel/untyped_ops.mli: Ctx Fmt Ktypes

@@ -1,0 +1,1 @@
+lib/kernel/vspace.ml: Array Build Cdt Costs Ctx Fmt Ktypes Layout

@@ -1,0 +1,1 @@
+lib/kernel/vspace.mli: Build Ctx Fmt Ktypes

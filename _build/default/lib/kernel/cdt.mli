@@ -1,0 +1,32 @@
+(** Capability derivation tree (seL4's mapping database) as a first-child
+    / sibling-list tree threaded through slots.
+
+    Revocation deletes the subtree below a slot one leaf at a time — the
+    canonical incremental-consistency shape: after each removal the tree
+    is well formed again, so a preemption point fits between any two
+    removals. *)
+
+open Ktypes
+
+val slot_addr : slot -> int
+(** Simulated memory address of a slot (for cache accounting). *)
+
+val insert_child : Ctx.t -> parent:slot -> child:slot -> unit
+
+val remove : Ctx.t -> slot -> unit
+(** Unlink a slot; its children are re-parented to its parent and spliced
+    into the sibling list in its place. *)
+
+val replace : Ctx.t -> old_slot:slot -> new_slot:slot -> unit
+(** Transplant a slot's tree position onto another slot (capability
+    moves keep their derivation position, unlike copies). *)
+
+val deepest_descendant : slot -> slot option
+(** A leaf of the subtree below the slot, or [None]: revoke deletes
+    descendants bottom-up. *)
+
+val descendants : slot -> slot list
+val has_children : slot -> bool
+
+val check_well_formed : slot -> bool
+(** Sibling-list and parent-pointer consistency of the subtree. *)

@@ -1,0 +1,94 @@
+(* Per-primitive instruction counts, shared between the executable kernel
+   and the WCET timing skeletons.
+
+   Every kernel operation charges its work through these constants; the
+   static analysis builds its CFG block costs from the *same* constants.
+   This shared table is what makes "computed >= observed" hold for the
+   structural part of the cost — the analysis then adds cache and path
+   conservatism on top, which is where the paper's overestimation
+   (Figure 8) comes from.
+
+   The magnitudes are calibrated against the ARM1136 figures the paper
+   reports: a fastpath IPC of 200-250 cycles, exception entry/exit
+   microcode of a few dozen cycles, and a 1 KiB copy of roughly 20 us at
+   532 MHz when every line misses. *)
+
+(* Exception vector entry and exit (mode switch, bank swap, SPSR). *)
+let entry_instrs = 40
+let exit_instrs = 40
+
+(* Syscall decoding: register unmarshalling and capability lookup setup. *)
+let decode_instrs = 30
+
+(* One edge of a capability-space lookup (Figure 7): guard check, radix
+   extraction, slot computation.  Each level also loads the cnode header
+   and the slot, charged separately. *)
+let cspace_level_instrs = 12
+
+(* Fastpath IPC (Section 6.1: "around 200-250 cycles on the ARM1136").
+   The instruction count excludes the loads/stores it performs. *)
+let fastpath_instrs = 90
+
+(* Slowpath IPC fixed work, excluding message copy and queue updates. *)
+let slowpath_ipc_instrs = 120
+
+(* Copying one message register. *)
+let per_message_word_instrs = 3
+
+(* Transferring (deriving + installing) one capability over IPC. *)
+let cap_transfer_instrs = 40
+
+(* Scheduler primitives. *)
+let enqueue_instrs = 10
+let dequeue_instrs = 12
+let bitmap_update_instrs = 6
+let choose_thread_bitmap_instrs = 10 (* two loads + two CLZ + arithmetic *)
+let choose_thread_scan_per_prio_instrs = 4
+let lazy_dequeue_blocked_instrs = 14
+
+(* Thread state changes and context switch. *)
+let set_state_instrs = 6
+let context_switch_instrs = 30
+
+(* Endpoint queue surgery. *)
+let ep_enqueue_instrs = 12
+let ep_dequeue_instrs = 14
+
+(* Badged-abort bookkeeping per examined waiter (Section 3.4). *)
+let badge_scan_instrs = 10
+
+(* Untyped retype fixed work per object (bookkeeping after clearing). *)
+let retype_fixed_instrs = 60
+
+(* Clearing / copying memory: instructions per 32-byte line (the stores
+   themselves are charged through the cache model). *)
+let clear_line_instrs = 4
+
+(* Page-table operations. *)
+let pte_update_instrs = 8
+let unmap_entry_instrs = 10
+let asid_lookup_instrs = 8
+let asid_search_per_slot_instrs = 3
+let tlb_invalidate_instrs = 20
+
+(* CDT (capability derivation tree) surgery per slot. *)
+let cdt_insert_instrs = 14
+let cdt_remove_instrs = 16
+
+(* Interrupt path: vector through to the handler dispatch. *)
+let irq_path_instrs = 60
+
+(* Preemption-point check itself (poll the pending flag). *)
+let preempt_check_instrs = 3
+
+(* Maximum message length in registers (seL4 ARM: 120 message registers
+   including the tag). *)
+let max_msg_len = 120
+
+(* Capability space depth limit: 32-bit cap addresses, one level can
+   consume as little as one bit (Figure 7). *)
+let max_cspace_depth = 32
+
+(* Caps transferred in one IPC; the paper's worst case decodes 11 cap
+   addresses in one atomic send-receive. *)
+let max_extra_caps = 3

@@ -1,0 +1,123 @@
+(* Execution context: how the kernel charges its work to the hardware
+   model, and how it observes pending interrupts at preemption points.
+
+   With [cpu = None] the kernel runs uninstrumented (fast, for functional
+   tests); with a CPU attached, every instruction, load, store and branch
+   goes through the cache/memory hierarchy and accumulates cycles. *)
+
+type t = {
+  cpu : Hw.Cpu.t option;
+  build : Build.t;
+  mutable irq_arrival : int option;
+      (* Cycle at which the earliest still-pending interrupt arrived;
+         [None] when no interrupt is pending.  Set by the harness, cleared
+         when the kernel takes the interrupt. *)
+  mutable irq_timer : int option;
+      (* A future interrupt: becomes pending when the cycle counter
+         reaches it.  Lets tests and benchmarks fire an interrupt in the
+         middle of a long-running kernel operation. *)
+  mutable irq_latency_worst : int;
+  mutable irq_latency_last : int;
+  mutable preempt_count : int;  (* preemption points taken (not checks) *)
+}
+
+let create ?cpu build =
+  {
+    cpu;
+    build;
+    irq_arrival = None;
+    irq_timer = None;
+    irq_latency_worst = 0;
+    irq_latency_last = 0;
+    preempt_count = 0;
+  }
+
+let cycles t = match t.cpu with Some cpu -> Hw.Cpu.cycles cpu | None -> 0
+
+(* Charge [count] instructions from the code region [name].  The region's
+   base gives the fetch addresses. *)
+let exec t name count =
+  match t.cpu with
+  | None -> ()
+  | Some cpu ->
+      let region = Layout.code name in
+      Hw.Cpu.exec cpu ~base:region.Layout.base ~count
+
+let load t addr = match t.cpu with None -> () | Some cpu -> Hw.Cpu.load cpu addr
+let store t addr = match t.cpu with None -> () | Some cpu -> Hw.Cpu.store cpu addr
+
+let branch t name ~taken =
+  match t.cpu with
+  | None -> ()
+  | Some cpu ->
+      let region = Layout.code name in
+      Hw.Cpu.branch cpu ~pc:region.Layout.base ~taken
+
+(* Bulk store over [bytes] starting at [addr]: one store per cache line
+   (write-allocate), as used by object clearing and the kernel-mapping
+   copy. *)
+let store_block t addr bytes =
+  match t.cpu with
+  | None -> ()
+  | Some cpu ->
+      let line = (Hw.Cpu.config cpu).Hw.Config.l1_line in
+      let lines = (bytes + line - 1) / line in
+      for i = 0 to lines - 1 do
+        Hw.Cpu.store cpu (addr + (i * line))
+      done
+
+let load_block t addr bytes =
+  match t.cpu with
+  | None -> ()
+  | Some cpu ->
+      let line = (Hw.Cpu.config cpu).Hw.Config.l1_line in
+      let lines = (bytes + line - 1) / line in
+      for i = 0 to lines - 1 do
+        Hw.Cpu.load cpu (addr + (i * line))
+      done
+
+(* --- interrupts and preemption points --- *)
+
+let raise_irq t = if t.irq_arrival = None then t.irq_arrival <- Some (cycles t)
+
+let schedule_irq_at t cycle = t.irq_timer <- Some cycle
+
+(* Promote an expired timer into a pending interrupt.  The arrival time is
+   the scheduled cycle, so response latency is measured from the moment
+   the (virtual) device asserted the line. *)
+let refresh t =
+  match t.irq_timer with
+  | Some c when cycles t >= c ->
+      if t.irq_arrival = None then t.irq_arrival <- Some c;
+      t.irq_timer <- None
+  | _ -> ()
+
+let irq_pending t =
+  refresh t;
+  t.irq_arrival <> None
+
+(* Called on the interrupt-dispatch path: record the response latency. *)
+let note_irq_taken t =
+  match t.irq_arrival with
+  | None -> ()
+  | Some arrived ->
+      let latency = cycles t - arrived in
+      t.irq_latency_last <- latency;
+      if latency > t.irq_latency_worst then t.irq_latency_worst <- latency;
+      t.irq_arrival <- None
+
+(* A preemption point: polls the pending flag (charging the check) and
+   reports whether the current long-running operation must give way.
+   Returns [false] always when the build has preemption points disabled —
+   the "before" kernel of Table 2. *)
+let preemption_point t =
+  exec t "preempt_check" Costs.preempt_check_instrs;
+  load t Layout.irq_pending_word;
+  if t.build.Build.preemption_points && irq_pending t then begin
+    t.preempt_count <- t.preempt_count + 1;
+    true
+  end
+  else false
+
+let worst_irq_latency t = t.irq_latency_worst
+let last_irq_latency t = t.irq_latency_last

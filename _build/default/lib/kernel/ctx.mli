@@ -1,0 +1,47 @@
+(** Execution context: how the kernel charges work to the hardware model
+    and observes pending interrupts at preemption points.  With no CPU
+    attached the kernel runs uninstrumented (fast functional testing). *)
+
+type t = {
+  cpu : Hw.Cpu.t option;
+  build : Build.t;
+  mutable irq_arrival : int option;
+  mutable irq_timer : int option;
+  mutable irq_latency_worst : int;
+  mutable irq_latency_last : int;
+  mutable preempt_count : int;
+}
+
+val create : ?cpu:Hw.Cpu.t -> Build.t -> t
+val cycles : t -> int
+
+val exec : t -> string -> int -> unit
+(** [exec t region n]: charge [n] instructions fetched from the named code
+    region (see {!Layout.code}). *)
+
+val load : t -> int -> unit
+val store : t -> int -> unit
+val branch : t -> string -> taken:bool -> unit
+
+val store_block : t -> int -> int -> unit
+(** Bulk store, one access per cache line (object clearing, the kernel
+    mapping copy). *)
+
+val load_block : t -> int -> int -> unit
+
+val raise_irq : t -> unit
+val schedule_irq_at : t -> int -> unit
+(** Make an interrupt pending once the cycle counter reaches the value. *)
+
+val irq_pending : t -> bool
+
+val note_irq_taken : t -> unit
+(** Called on the interrupt-dispatch path: record the response latency
+    from arrival to now, and clear the pending state. *)
+
+val preemption_point : t -> bool
+(** Poll the pending flag (charging the check).  Always [false] when the
+    build disables preemption points — the "before" kernel. *)
+
+val worst_irq_latency : t -> int
+val last_irq_latency : t -> int

@@ -1,0 +1,16 @@
+(** Intrusive doubly-linked endpoint wait queues: O(1) enqueue/dequeue
+    (Section 3.4 relies on this); only whole-queue operations iterate,
+    and those carry preemption points.
+
+    [dequeue] also keeps any in-flight badged-abort cursor on the endpoint
+    valid — part of what makes the Section 3.4 resume state safe against
+    concurrent queue surgery. *)
+
+open Ktypes
+
+val enqueue : Ctx.t -> endpoint -> tcb -> unit
+val dequeue : Ctx.t -> endpoint -> tcb -> unit
+val pop : Ctx.t -> endpoint -> tcb option
+val is_empty : endpoint -> bool
+val to_list : endpoint -> tcb list
+val length : endpoint -> int

@@ -1,0 +1,23 @@
+(** The proof-invariant catalogue of Section 2.2 as executable checks:
+    queue well-formedness, the Benno-scheduling invariant, the bitmap
+    mirror, object alignment and non-overlap, derivation-tree shape,
+    shadow back-pointer consistency, kernel global mappings, and clearing
+    completeness.  Property tests run {!check} after every kernel entry. *)
+
+exception Violation of string
+
+val check : Kernel.t -> unit
+(** Run the whole catalogue.  @raise Violation with a description. *)
+
+val check_result : Kernel.t -> (unit, string) Result.t
+
+(** Individual checks, for targeted tests: *)
+
+val check_run_queues : Kernel.t -> unit
+val check_endpoints : Kernel.t -> unit
+val check_notifications : Kernel.t -> unit
+val check_alignment : Kernel.t -> unit
+val check_cdt : Kernel.t -> unit
+val check_shadow_tables : Kernel.t -> unit
+val check_kernel_mappings : Kernel.t -> unit
+val check_cleared : Kernel.t -> unit

@@ -1,0 +1,150 @@
+(** The microkernel: event-based, single kernel stack, interrupts disabled
+    during kernel execution except at explicit preemption points.
+
+    Every kernel entry runs to completion or to a preemption point.  A
+    preempted operation saves its progress in the objects it manipulates
+    (incremental consistency), marks the current thread's system call for
+    restart, handles the pending interrupt, and returns; re-executing the
+    system call continues the operation (Section 2.1). *)
+
+open Ktypes
+
+type t = {
+  ctx : Ctx.t;
+  build : Build.t;
+  sched : Sched.t;
+  asids : Vspace.asid_state;
+  idle : tcb;
+  mutable current : tcb;
+  mutable objects : any_object list;
+      (** registry of live objects, for the invariant checker *)
+  mutable next_id : int;
+  mutable phys_watermark : int;
+  mutable next_root_slot : int;
+  mutable root_slots : slot list;
+  cap_refs : (int, int) Hashtbl.t;  (** object id -> live capability count *)
+  irq_handlers : cap option array;
+  mutable pending_irqs : int list;
+  mutable preempted_events : int;
+  mutable syscall_restarts : int;
+}
+
+val num_irqs : int
+val timer_irq : int
+
+(** {1 Construction and bookkeeping} *)
+
+val create : ?cpu:Hw.Cpu.t -> Build.t -> t
+val ctx : t -> Ctx.t
+val current : t -> tcb
+val cycles : t -> int
+
+val fresh_id : t -> int
+val register : t -> any_object -> unit
+val unregister : t -> any_object -> unit
+
+val new_root_slot : t -> slot
+(** A harness-owned capability slot outside any CNode (boot caps). *)
+
+val boot_untyped : t -> size_bits:int -> slot
+(** Carve an untyped out of simulated physical memory at boot. *)
+
+val obj_of_cap : cap -> any_object option
+val incref : t -> cap -> unit
+
+(** {1 Scheduling} *)
+
+val switch_to : t -> tcb -> unit
+val reschedule : t -> unit
+
+val force_run : t -> tcb -> unit
+(** Harness entry: put [tcb] on the CPU as if scheduled, re-queueing the
+    displaced thread.  Models user-level context switches driven by the
+    simulation. *)
+
+val wake : t -> ?direct:bool -> tcb -> unit
+(** Make a thread runnable; with [direct] (default), performs the
+    Benno-style immediate switch when the thread can run now. *)
+
+(** {1 Events (kernel entries)} *)
+
+type invocation =
+  | Inv_retype of {
+      ut : int;
+      obj_type : obj_type;
+      count : int;
+      dest_slots : slot list;
+    }
+  | Inv_copy of { src : int; dest_slot : slot; badge : int option }
+  | Inv_move of { src : int; dest_slot : slot }
+  | Inv_delete of { target : int }
+  | Inv_revoke of { target : int }
+  | Inv_cancel_badged_sends of { ep : int; badge : int }
+  | Inv_tcb_priority of { target : int; prio : int }
+  | Inv_tcb_configure of {
+      target : int;
+      cspace : int;
+      vspace : int;
+      fault_ep : int;
+    }
+  | Inv_tcb_suspend of { target : int }
+  | Inv_tcb_resume of { target : int }
+  | Inv_map_frame of { frame : int; pd : int; vaddr : int }
+  | Inv_unmap_frame of { frame : int }
+  | Inv_map_page_table of { pt : int; pd : int; vaddr : int }
+  | Inv_make_asid_pool of { ut : int; dest_slot : slot; top_index : int }
+  | Inv_assign_asid of { pool : int; pd : int }
+  | Inv_irq_handler of { line : int; ep : int }
+  | Inv_bind_irq_notification of { line : int; ntfn : int }
+
+type event =
+  | Ev_signal of { ntfn : int }
+  | Ev_wait of { ntfn : int }
+  | Ev_poll of { ntfn : int }
+  | Ev_call of {
+      ep : int;
+      badge_hint : int;
+      msg_len : int;
+      extra_caps : int list;
+    }
+  | Ev_send of { ep : int; msg_len : int; extra_caps : int list; blocking : bool }
+  | Ev_recv of { ep : int }
+  | Ev_reply_recv of { ep : int; msg_len : int }
+  | Ev_yield
+  | Ev_invoke of invocation
+  | Ev_interrupt
+  | Ev_page_fault of { vaddr : int }
+  | Ev_undefined_instruction
+
+type outcome = Completed | Preempted | Failed of string
+
+val kernel_entry : t -> event -> outcome
+(** One kernel entry: exception vector in, event handling, and either a
+    clean exit or a preemption (in which case the pending interrupt is
+    serviced before returning to user, per Section 5.2's path model). *)
+
+val run_to_completion : ?max_restarts:int -> t -> event -> outcome
+(** Re-execute a preempted system call until it completes (what user
+    level does implicitly by restarting the trapping instruction). *)
+
+(** {1 Interrupts} *)
+
+val raise_irq : t -> int -> unit
+(** Assert an interrupt line now. *)
+
+val schedule_irq : t -> int -> delay:int -> unit
+(** Assert a line once the cycle counter advances by [delay] — the
+    interrupt lands mid-operation. *)
+
+val worst_irq_latency : t -> int
+val preempted_events : t -> int
+
+(** {1 Internal operations exposed for targeted tests} *)
+
+val delete_endpoint : t -> endpoint -> Vspace.progress
+val cancel_badged_sends :
+  t -> endpoint -> badge:badge -> initiator:tcb -> Vspace.progress
+val delete_cap : t -> slot -> Vspace.progress
+val revoke_cap : t -> slot -> Vspace.progress
+val signal_notification : t -> notification -> badge:badge -> unit
+val cancel_ipc : t -> tcb -> unit

@@ -1,0 +1,296 @@
+(* Kernel object types.
+
+   One mutually recursive family, mirroring seL4's object model: threads
+   (TCBs), endpoints, capability nodes (CNodes) with a capability
+   derivation tree threaded through their slots, untyped memory, and the
+   virtual-memory objects (frames, page tables, page directories, ASID
+   pools).  Every object records its simulated physical address so that
+   the cache model sees realistic access patterns. *)
+
+type badge = int
+type prio = int
+
+type rights = { read : bool; write : bool; grant : bool }
+
+let all_rights = { read = true; write = true; grant = true }
+let rw_rights = { read = true; write = true; grant = false }
+
+type obj_type =
+  | Tcb_object
+  | Endpoint_object
+  | Notification_object
+  | Cnode_object of int  (* radix bits *)
+  | Frame_object of int  (* size bits: 12 (4 KiB) .. 24 (16 MiB) *)
+  | Page_table_object
+  | Page_directory_object
+  | Untyped_object of int  (* size bits *)
+  | Asid_pool_object
+
+type tcb = {
+  tcb_id : int;
+  tcb_addr : int;
+  mutable state : thread_state;
+  mutable priority : prio;
+  mutable cspace_root : cap;
+  mutable vspace_root : cap;
+  (* Fault-handler endpoint, as a capability address resolved in this
+     thread's cspace at fault time (one decode per fault, as the paper
+     notes for the exception entry points). *)
+  mutable fault_handler_cptr : int option;
+  (* Message registers; regs.(0) is the message tag. *)
+  regs : int array;
+  (* Intrusive scheduler queue links. *)
+  mutable sched_next : tcb option;
+  mutable sched_prev : tcb option;
+  mutable in_run_queue : bool;
+  (* Intrusive endpoint queue links; [ep_badge] is the badge a blocked
+     sender used. *)
+  mutable ep_next : tcb option;
+  mutable ep_prev : tcb option;
+  mutable ep_badge : badge;
+  mutable ep_can_grant : bool;
+  mutable ep_is_call : bool;
+  mutable ep_msg_len : int;  (* length of the blocked send's message *)
+  (* Thread waiting for our reply (we are the callee). *)
+  mutable caller : tcb option;
+  (* Callee we are waiting on while Blocked_on_reply (back-pointer kept so
+     cancelling the IPC can purge the callee's [caller] field). *)
+  mutable reply_target : tcb option;
+  (* Slot into which a granted capability is received. *)
+  mutable recv_slot : slot option;
+  (* System call to re-execute after a preemption (restartable calls). *)
+  mutable restart_syscall : bool;
+  mutable tcb_cleared : int;  (* clearing progress during creation *)
+}
+
+and thread_state =
+  | Inactive
+  | Running
+  | Blocked_on_send of endpoint
+  | Blocked_on_receive of endpoint
+  | Blocked_on_reply
+  | Blocked_on_notification of notification
+
+and endpoint = {
+  ep_id : int;
+  ep_addr : int;
+  mutable ep_queue_kind : ep_queue_kind;
+  ep_queue : tcb_queue;
+  (* Set to false at the start of deletion so no new IPC can begin
+     (forward progress for the preemptible delete, Section 3.3). *)
+  mutable ep_active : bool;
+  (* In-flight badged-abort progress, stored on the endpoint object rather
+     than in a continuation (Section 3.4). *)
+  mutable ep_abort : abort_progress option;
+  mutable ep_cleared : int;  (* clearing progress during creation *)
+}
+
+and ep_queue_kind = Ep_idle | Ep_senders | Ep_receivers
+
+(* Asynchronous notification object (seL4's async endpoint): signals OR
+   their badges into the notification word; waiters block until a signal
+   arrives.  This is how device interrupts reach user level. *)
+and notification = {
+  ntfn_id : int;
+  ntfn_addr : int;
+  mutable ntfn_word : badge;  (* pending signals, OR of badges; 0 = none *)
+  ntfn_queue : tcb_queue;  (* blocked waiters *)
+  mutable ntfn_active : bool;
+  mutable ntfn_cleared : int;
+}
+
+and tcb_queue = { mutable head : tcb option; mutable tail : tcb option }
+
+and abort_progress = {
+  ab_badge : badge;  (* (3) the badge being removed *)
+  mutable ab_cursor : tcb option;  (* (1) resume position *)
+  mutable ab_last : tcb option;  (* (2) last waiter when the abort began *)
+  mutable ab_initiator : tcb option;  (* (4) thread to notify on completion *)
+}
+
+and cnode = {
+  cn_id : int;
+  cn_addr : int;
+  cn_bits : int;  (* radix: 2^bits slots *)
+  mutable cn_slots : slot array;  (* filled right after construction *)
+  mutable cn_cleared : int;  (* clearing progress during creation, bytes *)
+}
+
+and slot = {
+  sl_cnode : cnode option;  (* None for root slots owned by the harness *)
+  sl_index : int;
+  mutable cap : cap;
+  (* Capability derivation tree (seL4's MDB, as a first-child /
+     sibling-list tree). *)
+  mutable cdt_parent : slot option;
+  mutable cdt_first_child : slot option;
+  mutable cdt_prev : slot option;
+  mutable cdt_next : slot option;
+}
+
+and cap =
+  | Null_cap
+  | Tcb_cap of tcb
+  | Endpoint_cap of { ep : endpoint; badge : badge; rights : rights }
+  | Notification_cap of { ntfn : notification; badge : badge; rights : rights }
+  | Reply_cap of tcb
+  | Cnode_cap of { cnode : cnode; guard : int; guard_bits : int }
+  | Untyped_cap of untyped
+  | Frame_cap of frame_cap_data
+  | Page_table_cap of pt_cap_data
+  | Page_directory_cap of pd_cap_data
+  | Asid_pool_cap of asid_pool
+  | Asid_control_cap
+  | Irq_control_cap
+  | Irq_handler_cap of int
+
+and frame_cap_data = {
+  frame : frame;
+  fc_rights : rights;
+  (* Where this cap's frame is mapped (each frame cap maps at most once,
+     as in seL4). *)
+  mutable fc_mapping : frame_mapping option;
+}
+
+and frame_mapping = {
+  fm_vspace : vspace_ref;
+  fm_vaddr : int;
+}
+
+(* The two designs of Section 3.6: an ASID indirection that tolerates
+   stale references, or a direct page-directory reference kept exact by
+   shadow back-pointers. *)
+and vspace_ref = Via_asid of int | Direct of page_directory
+
+and pt_cap_data = {
+  pt : page_table;
+  mutable ptc_mapping : (page_directory * int) option;  (* pd, pde index *)
+}
+
+and pd_cap_data = { pd : page_directory; mutable pdc_asid : int option }
+
+and untyped = {
+  ut_id : int;
+  ut_addr : int;
+  ut_size_bits : int;
+  mutable ut_watermark : int;  (* bytes used from the start *)
+  (* An in-flight retype: objects allocated but still being cleared.  The
+     clearing happens *before* any other kernel state is touched
+     (Section 3.5), so a preemption here leaves the system fully
+     consistent and the restarted syscall resumes from the watermarks. *)
+  mutable ut_creating : creating option;
+}
+
+and creating = {
+  cr_type : obj_type;
+  cr_entries : (slot * any_object) list;  (* destination slot, new object *)
+  mutable cr_cursor : int;  (* objects fully cleared *)
+}
+
+and frame = {
+  f_id : int;
+  f_addr : int;
+  f_size_bits : int;
+  mutable f_cleared : int;  (* clearing progress during creation, bytes *)
+}
+
+and pte = Pte_invalid | Pte_frame of frame
+
+and page_table = {
+  pt_id : int;
+  pt_addr : int;
+  pt_entries : pte array;  (* 256 entries of 4 KiB *)
+  pt_shadow : slot option array;  (* back-pointers to mapping frame caps *)
+  mutable pt_lowest_mapped : int;  (* resume index for preemptible delete *)
+  mutable pt_mapped_in : (page_directory * int) option;
+  mutable pt_cleared : int;
+}
+
+and pde =
+  | Pde_invalid
+  | Pde_page_table of page_table
+  | Pde_section of frame  (* 1 MiB section mapping *)
+  | Pde_kernel  (* global kernel mapping, copied at creation *)
+
+and page_directory = {
+  pd_id : int;
+  pd_addr : int;
+  pd_entries : pde array;  (* 4096 entries of 1 MiB *)
+  pd_shadow : slot option array;
+  mutable pd_asid : int option;
+  mutable pd_kernel_mapped : bool;
+  mutable pd_lowest_mapped : int;
+  mutable pd_cleared : int;
+}
+
+and asid_pool = {
+  ap_id : int;
+  ap_addr : int;
+  ap_entries : page_directory option array;  (* 1024 address spaces *)
+  mutable ap_cleared : int;  (* clearing progress during creation *)
+}
+
+(* Uniform view of any kernel object, used by the registry and the
+   invariant checker. *)
+and any_object =
+  | Any_tcb of tcb
+  | Any_endpoint of endpoint
+  | Any_notification of notification
+  | Any_cnode of cnode
+  | Any_untyped of untyped
+  | Any_frame of frame
+  | Any_page_table of page_table
+  | Any_page_directory of page_directory
+  | Any_asid_pool of asid_pool
+
+let pd_entries_count = 4096
+let pt_entries_count = 256
+let kernel_pde_first = 3840 (* top 256 MiB of a 4 GiB space: 256 entries *)
+let asid_pool_size = 1024
+let page_bits = 12
+let pt_coverage_bits = 20 (* one PT maps 1 MiB *)
+
+let obj_size_bytes = function
+  | Tcb_object -> 512
+  | Endpoint_object -> 16
+  | Notification_object -> 16
+  | Cnode_object bits -> 16 lsl bits
+  | Frame_object bits -> 1 lsl bits
+  | Page_table_object -> 1024 * 2 (* 1 KiB table + 1 KiB shadow *)
+  | Page_directory_object -> 16384 * 2 (* 16 KiB directory + shadow *)
+  | Untyped_object bits -> 1 lsl bits
+  | Asid_pool_object -> 4096
+
+let is_runnable tcb =
+  match tcb.state with
+  | Running -> true
+  | Inactive | Blocked_on_send _ | Blocked_on_receive _ | Blocked_on_reply
+  | Blocked_on_notification _ ->
+      false
+
+let cap_is_null = function Null_cap -> true | _ -> false
+
+let pp_thread_state ppf = function
+  | Inactive -> Fmt.string ppf "inactive"
+  | Running -> Fmt.string ppf "running"
+  | Blocked_on_send ep -> Fmt.pf ppf "blocked-send(ep%d)" ep.ep_id
+  | Blocked_on_receive ep -> Fmt.pf ppf "blocked-recv(ep%d)" ep.ep_id
+  | Blocked_on_reply -> Fmt.string ppf "blocked-reply"
+  | Blocked_on_notification n -> Fmt.pf ppf "blocked-ntfn(ntfn%d)" n.ntfn_id
+
+let pp_cap ppf = function
+  | Null_cap -> Fmt.string ppf "null"
+  | Tcb_cap t -> Fmt.pf ppf "tcb%d" t.tcb_id
+  | Endpoint_cap { ep; badge; _ } -> Fmt.pf ppf "ep%d[badge=%d]" ep.ep_id badge
+  | Notification_cap { ntfn; badge; _ } ->
+      Fmt.pf ppf "ntfn%d[badge=%d]" ntfn.ntfn_id badge
+  | Reply_cap t -> Fmt.pf ppf "reply(tcb%d)" t.tcb_id
+  | Cnode_cap { cnode; _ } -> Fmt.pf ppf "cnode%d" cnode.cn_id
+  | Untyped_cap u -> Fmt.pf ppf "untyped%d" u.ut_id
+  | Frame_cap { frame; _ } -> Fmt.pf ppf "frame%d" frame.f_id
+  | Page_table_cap { pt; _ } -> Fmt.pf ppf "pt%d" pt.pt_id
+  | Page_directory_cap { pd; _ } -> Fmt.pf ppf "pd%d" pd.pd_id
+  | Asid_pool_cap p -> Fmt.pf ppf "asid-pool%d" p.ap_id
+  | Asid_control_cap -> Fmt.string ppf "asid-control"
+  | Irq_control_cap -> Fmt.string ppf "irq-control"
+  | Irq_handler_cap n -> Fmt.pf ppf "irq%d" n

@@ -1,0 +1,9 @@
+(** Intrusive wait queue of a notification object (reuses the endpoint
+    link fields of the TCB; a thread is never blocked on both). *)
+
+open Ktypes
+
+val enqueue : Ctx.t -> notification -> tcb -> unit
+val dequeue : Ctx.t -> notification -> tcb -> unit
+val pop : Ctx.t -> notification -> tcb option
+val to_list : notification -> tcb list

@@ -1,0 +1,195 @@
+(* Kernel object constructors.
+
+   Objects are created at aligned simulated-physical addresses (all seL4
+   objects are aligned to their size — one of the proof invariants the
+   checker validates) and start "dirty": their clearing progress is zero
+   and must reach the full size before the object becomes visible to the
+   rest of the kernel (Section 3.5). *)
+
+open Ktypes
+
+let make_slot ?cnode ~index () =
+  {
+    sl_cnode = cnode;
+    sl_index = index;
+    cap = Null_cap;
+    cdt_parent = None;
+    cdt_first_child = None;
+    cdt_prev = None;
+    cdt_next = None;
+  }
+
+let make_tcb ~id ~addr ~priority =
+  {
+    tcb_id = id;
+    tcb_addr = addr;
+    state = Inactive;
+    priority;
+    cspace_root = Null_cap;
+    vspace_root = Null_cap;
+    fault_handler_cptr = None;
+    regs = Array.make Costs.max_msg_len 0;
+    sched_next = None;
+    sched_prev = None;
+    in_run_queue = false;
+    ep_next = None;
+    ep_prev = None;
+    ep_badge = 0;
+    ep_can_grant = false;
+    ep_is_call = false;
+    ep_msg_len = 0;
+    caller = None;
+    reply_target = None;
+    recv_slot = None;
+    restart_syscall = false;
+    tcb_cleared = 0;
+  }
+
+let make_endpoint ~id ~addr =
+  {
+    ep_id = id;
+    ep_addr = addr;
+    ep_queue_kind = Ep_idle;
+    ep_queue = { head = None; tail = None };
+    ep_active = true;
+    ep_abort = None;
+    ep_cleared = 0;
+  }
+
+let make_notification ~id ~addr =
+  {
+    ntfn_id = id;
+    ntfn_addr = addr;
+    ntfn_word = 0;
+    ntfn_queue = { head = None; tail = None };
+    ntfn_active = true;
+    ntfn_cleared = 0;
+  }
+
+let make_cnode ~id ~addr ~bits =
+  (* Slots point back at their cnode, so the array is filled in a second
+     step. *)
+  let cnode =
+    { cn_id = id; cn_addr = addr; cn_bits = bits; cn_slots = [||]; cn_cleared = 0 }
+  in
+  cnode.cn_slots <-
+    Array.init (1 lsl bits) (fun index -> make_slot ~cnode ~index ());
+  cnode
+
+let make_untyped ~id ~addr ~size_bits =
+  {
+    ut_id = id;
+    ut_addr = addr;
+    ut_size_bits = size_bits;
+    ut_watermark = 0;
+    ut_creating = None;
+  }
+
+let make_frame ~id ~addr ~size_bits =
+  { f_id = id; f_addr = addr; f_size_bits = size_bits; f_cleared = 0 }
+
+let make_page_table ~id ~addr =
+  {
+    pt_id = id;
+    pt_addr = addr;
+    pt_entries = Array.make pt_entries_count Pte_invalid;
+    pt_shadow = Array.make pt_entries_count None;
+    pt_lowest_mapped = 0;
+    pt_mapped_in = None;
+    pt_cleared = 0;
+  }
+
+let make_page_directory ~id ~addr =
+  {
+    pd_id = id;
+    pd_addr = addr;
+    pd_entries = Array.make pd_entries_count Pde_invalid;
+    pd_shadow = Array.make pd_entries_count None;
+    pd_asid = None;
+    pd_kernel_mapped = false;
+    pd_lowest_mapped = 0;
+    pd_cleared = 0;
+  }
+
+let make_asid_pool ~id ~addr =
+  {
+    ap_id = id;
+    ap_addr = addr;
+    ap_entries = Array.make asid_pool_size None;
+    ap_cleared = 0;
+  }
+
+let addr_of = function
+  | Any_tcb t -> t.tcb_addr
+  | Any_endpoint e -> e.ep_addr
+  | Any_notification n -> n.ntfn_addr
+  | Any_cnode c -> c.cn_addr
+  | Any_untyped u -> u.ut_addr
+  | Any_frame f -> f.f_addr
+  | Any_page_table pt -> pt.pt_addr
+  | Any_page_directory pd -> pd.pd_addr
+  | Any_asid_pool p -> p.ap_addr
+
+let size_of = function
+  | Any_tcb _ -> obj_size_bytes Tcb_object
+  | Any_endpoint _ -> obj_size_bytes Endpoint_object
+  | Any_notification _ -> obj_size_bytes Notification_object
+  | Any_cnode c -> obj_size_bytes (Cnode_object c.cn_bits)
+  | Any_untyped u -> obj_size_bytes (Untyped_object u.ut_size_bits)
+  | Any_frame f -> obj_size_bytes (Frame_object f.f_size_bits)
+  | Any_page_table _ -> obj_size_bytes Page_table_object
+  | Any_page_directory _ -> obj_size_bytes Page_directory_object
+  | Any_asid_pool _ -> 4 * asid_pool_size
+
+let id_of = function
+  | Any_tcb t -> t.tcb_id
+  | Any_endpoint e -> e.ep_id
+  | Any_notification n -> n.ntfn_id
+  | Any_cnode c -> c.cn_id
+  | Any_untyped u -> u.ut_id
+  | Any_frame f -> f.f_id
+  | Any_page_table pt -> pt.pt_id
+  | Any_page_directory pd -> pd.pd_id
+  | Any_asid_pool p -> p.ap_id
+
+(* Clearing progress accessors (Section 3.5: progress lives in the
+   object). *)
+let cleared_of = function
+  | Any_frame f -> f.f_cleared
+  | Any_cnode c -> c.cn_cleared
+  | Any_page_table pt -> pt.pt_cleared
+  | Any_page_directory pd -> pd.pd_cleared
+  | Any_tcb t -> t.tcb_cleared
+  | Any_endpoint e -> e.ep_cleared
+  | Any_notification n -> n.ntfn_cleared
+  | Any_asid_pool p -> p.ap_cleared
+  (* Untyped memory is handed out uncleared; its children are cleared when
+     they in turn are retyped (the seL4 allocation model). *)
+  | Any_untyped u -> obj_size_bytes (Untyped_object u.ut_size_bits)
+
+let set_cleared obj bytes =
+  match obj with
+  | Any_frame f -> f.f_cleared <- bytes
+  | Any_cnode c -> c.cn_cleared <- bytes
+  | Any_page_table pt -> pt.pt_cleared <- bytes
+  | Any_page_directory pd -> pd.pd_cleared <- bytes
+  | Any_tcb t -> t.tcb_cleared <- bytes
+  | Any_endpoint e -> e.ep_cleared <- bytes
+  | Any_notification n -> n.ntfn_cleared <- bytes
+  | Any_asid_pool p -> p.ap_cleared <- bytes
+  | Any_untyped _ -> ()
+
+let pp ppf obj =
+  let kind =
+    match obj with
+    | Any_tcb _ -> "tcb"
+    | Any_endpoint _ -> "ep"
+    | Any_notification _ -> "ntfn"
+    | Any_cnode _ -> "cnode"
+    | Any_untyped _ -> "untyped"
+    | Any_frame _ -> "frame"
+    | Any_page_table _ -> "pt"
+    | Any_page_directory _ -> "pd"
+    | Any_asid_pool _ -> "asid-pool"
+  in
+  Fmt.pf ppf "%s%d@%#x" kind (id_of obj) (addr_of obj)

@@ -1,0 +1,1 @@
+lib/loopbound/checker.ml: Fmt List Ltl Tac

@@ -1,0 +1,1 @@
+lib/loopbound/checker.mli: Fmt Ltl Tac

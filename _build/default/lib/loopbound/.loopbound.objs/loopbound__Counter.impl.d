@@ -1,0 +1,1 @@
+lib/loopbound/counter.ml: Cfg List Tac

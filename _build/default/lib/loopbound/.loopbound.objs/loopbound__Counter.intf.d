@@ -1,0 +1,1 @@
+lib/loopbound/counter.mli: Tac

@@ -1,0 +1,1 @@
+lib/loopbound/ltl.ml: Array Fmt

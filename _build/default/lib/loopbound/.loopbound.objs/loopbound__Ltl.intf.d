@@ -1,0 +1,1 @@
+lib/loopbound/ltl.mli: Fmt

@@ -1,0 +1,180 @@
+(* Syntactic induction-variable analysis for counter loops.
+
+   Section 5.3: "loops which use explicit counter variables can be easily
+   bounded using static analysis".  On SSA form the pattern is crisp:
+
+     header:  i.1 := phi(pre: init, latch: i.2)
+              if i.1 CMP limit goto body else exit   (or the negation)
+     ...
+     latch:   i.2 := i.1 + step
+
+   The bound on header visits per loop entry follows from the initial
+   value, the step and the limit.  Operands whose value is not a constant
+   are widened to the declared parameter domain; anything else makes the
+   analysis give up ([None]) and fall back to the model checker. *)
+
+type interval = { lo : int; hi : int }
+
+(* Find the definition of an SSA register among instructions. *)
+let find_def (t : Tac.Ssa.t) r =
+  List.find_map
+    (fun (b : Tac.Ssa.ssa_block) ->
+      List.find_map
+        (fun i ->
+          if List.mem r (Tac.Lang.defs_of_instr i) then Some i else None)
+        b.Tac.Ssa.instrs)
+    t.Tac.Ssa.blocks
+
+(* Static value interval of an operand: an immediate, a parameter domain
+   (version .0 of a parameter), or a chain of simple SSA copies/constant
+   arithmetic leading to one.  SSA instruction definitions are acyclic, so
+   the recursion terminates (phis stop the chase). *)
+let rec interval_of_operand ?(fuel = 32) (t : Tac.Ssa.t) op =
+  if fuel = 0 then None
+  else
+    match op with
+    | Tac.Lang.Imm n -> Some { lo = n; hi = n }
+    | Tac.Lang.Reg r -> (
+        let base = Tac.Ssa.base_of r in
+        if r = base ^ ".0" then
+          List.find_map
+            (fun (p : Tac.Lang.param) ->
+              if p.Tac.Lang.name = base then
+                Some { lo = p.Tac.Lang.lo; hi = p.Tac.Lang.hi }
+              else None)
+            t.Tac.Ssa.params
+        else
+          match find_def t r with
+          | Some (Tac.Lang.Assign (_, src)) ->
+              interval_of_operand ~fuel:(fuel - 1) t src
+          | Some (Tac.Lang.Binop (_, Tac.Lang.Add, a, b)) -> (
+              match
+                ( interval_of_operand ~fuel:(fuel - 1) t a,
+                  interval_of_operand ~fuel:(fuel - 1) t b )
+              with
+              | Some ia, Some ib ->
+                  Some { lo = ia.lo + ib.lo; hi = ia.hi + ib.hi }
+              | _ -> None)
+          | Some (Tac.Lang.Binop (_, Tac.Lang.Sub, a, b)) -> (
+              match
+                ( interval_of_operand ~fuel:(fuel - 1) t a,
+                  interval_of_operand ~fuel:(fuel - 1) t b )
+              with
+              | Some ia, Some ib ->
+                  Some { lo = ia.lo - ib.hi; hi = ia.hi - ib.lo }
+              | _ -> None)
+          | _ -> None)
+
+(* Max header visits for an increasing counter: first visit at [init],
+   subsequent visits while the continue-condition holds.  Returns visits
+   per loop entry including the final (failing) test. *)
+let visits_increasing ~init ~step ~limit ~inclusive =
+  (* Continue while i < limit (or <=).  Iterations executed: *)
+  let room = limit - init + if inclusive then 1 else 0 in
+  let iterations = if room <= 0 then 0 else (room + step - 1) / step in
+  iterations + 1
+
+let visits_decreasing ~init ~step ~limit ~inclusive =
+  let room = init - limit + if inclusive then 1 else 0 in
+  let iterations = if room <= 0 then 0 else (room + step - 1) / step in
+  iterations + 1
+
+let analyse_header (t : Tac.Ssa.t) ~header =
+  let block = Tac.Ssa.block_exn t header in
+  let lowered =
+    Tac.To_cfg.lower
+      {
+        Tac.Lang.entry = t.Tac.Ssa.entry;
+        params = t.Tac.Ssa.params;
+        blocks =
+          List.map
+            (fun (b : Tac.Ssa.ssa_block) ->
+              { Tac.Lang.label = b.Tac.Ssa.label; instrs = []; term = b.Tac.Ssa.term })
+            t.Tac.Ssa.blocks;
+      }
+  in
+  let loops = Cfg.Loops.compute lowered.Tac.To_cfg.fn in
+  let loop =
+    Cfg.Loops.loop_of_header loops (Tac.To_cfg.id lowered header)
+  in
+  match (loop, block.Tac.Ssa.term) with
+  | Some loop, Tac.Lang.Branch (cmp, Tac.Lang.Reg iv, limit_op, l_true, l_false) ->
+      let in_body l = List.mem (Tac.To_cfg.id lowered l) loop.Cfg.Loops.body in
+      (* Normalise to: continue into the loop when [cmp] holds. *)
+      let continue_cmp =
+        match (in_body l_true, in_body l_false) with
+        | true, false -> Some cmp
+        | false, true ->
+            Some
+              (match cmp with
+              | Tac.Lang.Lt -> Tac.Lang.Ge
+              | Tac.Lang.Le -> Tac.Lang.Gt
+              | Tac.Lang.Gt -> Tac.Lang.Le
+              | Tac.Lang.Ge -> Tac.Lang.Lt
+              | Tac.Lang.Eq -> Tac.Lang.Ne
+              | Tac.Lang.Ne -> Tac.Lang.Eq)
+        | _ -> None
+      in
+      let phi =
+        List.find_opt (fun (p : Tac.Ssa.phi) -> p.Tac.Ssa.dest = iv) block.Tac.Ssa.phis
+      in
+      (match (continue_cmp, phi) with
+      | Some cmp, Some phi ->
+          (* Split phi sources into loop-external (init) and internal
+             (latch). *)
+          let init_ops, latch_ops =
+            List.partition
+              (fun (src, _) -> not (in_body src))
+              phi.Tac.Ssa.sources
+          in
+          (match (init_ops, latch_ops) with
+          | [ (_, init_op) ], [ (_, latch_op) ] ->
+              let step =
+                match latch_op with
+                | Tac.Lang.Reg latch_reg -> (
+                    match find_def t latch_reg with
+                    | Some (Tac.Lang.Binop (_, Tac.Lang.Add, Tac.Lang.Reg r, Tac.Lang.Imm c))
+                      when r = iv ->
+                        Some c
+                    | Some (Tac.Lang.Binop (_, Tac.Lang.Add, Tac.Lang.Imm c, Tac.Lang.Reg r))
+                      when r = iv ->
+                        Some c
+                    | Some (Tac.Lang.Binop (_, Tac.Lang.Sub, Tac.Lang.Reg r, Tac.Lang.Imm c))
+                      when r = iv ->
+                        Some (-c)
+                    | _ -> None)
+                | Tac.Lang.Imm _ -> None
+              in
+              let init = interval_of_operand t init_op in
+              let limit = interval_of_operand t limit_op in
+              (match (step, init, limit, cmp) with
+              | Some step, Some init, Some limit, Tac.Lang.Lt when step > 0 ->
+                  Some
+                    (visits_increasing ~init:init.lo ~step ~limit:limit.hi
+                       ~inclusive:false)
+              | Some step, Some init, Some limit, Tac.Lang.Le when step > 0 ->
+                  Some
+                    (visits_increasing ~init:init.lo ~step ~limit:limit.hi
+                       ~inclusive:true)
+              | Some step, Some init, Some limit, Tac.Lang.Gt when step < 0 ->
+                  Some
+                    (visits_decreasing ~init:init.hi ~step:(-step)
+                       ~limit:limit.lo ~inclusive:false)
+              | Some step, Some init, Some limit, Tac.Lang.Ge when step < 0 ->
+                  Some
+                    (visits_decreasing ~init:init.hi ~step:(-step)
+                       ~limit:limit.lo ~inclusive:true)
+              | Some step, Some init, Some limit, Tac.Lang.Ne
+                when step <> 0
+                     && init.lo = init.hi
+                     && limit.lo = limit.hi
+                     && (limit.lo - init.lo) mod step = 0
+                     && (limit.lo - init.lo) / step >= 0 ->
+                  Some (((limit.lo - init.lo) / step) + 1)
+              | _ -> None)
+          | _ -> None)
+      | _ -> None)
+  | _ -> None
+
+(* Convenience: analyse a raw TAC program (converting to SSA first). *)
+let analyse program ~header = analyse_header (Tac.Ssa.convert program) ~header

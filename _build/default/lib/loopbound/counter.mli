@@ -1,0 +1,17 @@
+(** Syntactic induction-variable analysis for counter loops: the paper's
+    "loops which use explicit counter variables can be easily bounded
+    using static analysis" (Section 5.3).
+
+    Recognises, on SSA form, a header phi whose in-loop source is the phi
+    plus or minus a constant, compared against a constant or an input
+    parameter's domain.  Returns the bound on header visits per loop
+    entry, or [None] when the pattern does not apply (the caller then
+    falls back to the model checker). *)
+
+type interval = { lo : int; hi : int }
+
+val analyse : Tac.Lang.program -> header:string -> int option
+val analyse_header : Tac.Ssa.t -> header:string -> int option
+
+val visits_increasing : init:int -> step:int -> limit:int -> inclusive:bool -> int
+val visits_decreasing : init:int -> step:int -> limit:int -> inclusive:bool -> int

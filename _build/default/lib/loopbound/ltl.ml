@@ -1,0 +1,63 @@
+(* Linear temporal logic over finite traces (LTLf).
+
+   The paper converts a sliced loop into "a model in linear temporal
+   logic" and asks a model checker for the maximum execution count of the
+   loop head (Section 5.3).  Our model checker enumerates the finite input
+   domains and checks each resulting execution trace against an LTL
+   formula; the loop-bound property is [always (visits header <= n)]. *)
+
+type 'state t =
+  | Prop of string * ('state -> bool)
+  | Not of 'state t
+  | And of 'state t * 'state t
+  | Or of 'state t * 'state t
+  | Next of 'state t
+  | Always of 'state t
+  | Eventually of 'state t
+  | Until of 'state t * 'state t
+
+let prop name p = Prop (name, p)
+let neg f = Not f
+let ( &&& ) a b = And (a, b)
+let ( ||| ) a b = Or (a, b)
+let next f = Next f
+let always f = Always f
+let eventually f = Eventually f
+let until a b = Until (a, b)
+let implies a b = Or (Not a, b)
+
+(* Finite-trace semantics: [Next] is false at the last position; [Always]
+   and [Eventually] quantify over the remaining suffix. *)
+let check_trace formula trace =
+  let trace = Array.of_list trace in
+  let n = Array.length trace in
+  let rec holds f i =
+    match f with
+    | Prop (_, p) -> i < n && p trace.(i)
+    | Not g -> not (holds g i)
+    | And (g, h) -> holds g i && holds h i
+    | Or (g, h) -> holds g i || holds h i
+    | Next g -> i + 1 < n && holds g (i + 1)
+    | Always g ->
+        let rec all j = j >= n || (holds g j && all (j + 1)) in
+        all i
+    | Eventually g ->
+        let rec some j = j < n && (holds g j || some (j + 1)) in
+        some i
+    | Until (g, h) ->
+        let rec scan j =
+          j < n && (holds h j || (holds g j && scan (j + 1)))
+        in
+        scan i
+  in
+  n = 0 || holds formula 0
+
+let rec pp ppf = function
+  | Prop (name, _) -> Fmt.string ppf name
+  | Not f -> Fmt.pf ppf "!(%a)" pp f
+  | And (a, b) -> Fmt.pf ppf "(%a & %a)" pp a pp b
+  | Or (a, b) -> Fmt.pf ppf "(%a | %a)" pp a pp b
+  | Next f -> Fmt.pf ppf "X(%a)" pp f
+  | Always f -> Fmt.pf ppf "G(%a)" pp f
+  | Eventually f -> Fmt.pf ppf "F(%a)" pp f
+  | Until (a, b) -> Fmt.pf ppf "(%a U %a)" pp a pp b

@@ -1,0 +1,31 @@
+(** Linear temporal logic over finite traces (LTLf).
+
+    The loop-bound property of Section 5.3 is expressed as
+    [always (visits header <= n)] and checked against execution traces of
+    the (sliced) program. *)
+
+type 'state t =
+  | Prop of string * ('state -> bool)
+  | Not of 'state t
+  | And of 'state t * 'state t
+  | Or of 'state t * 'state t
+  | Next of 'state t
+  | Always of 'state t
+  | Eventually of 'state t
+  | Until of 'state t * 'state t
+
+val prop : string -> ('state -> bool) -> 'state t
+val neg : 'state t -> 'state t
+val ( &&& ) : 'state t -> 'state t -> 'state t
+val ( ||| ) : 'state t -> 'state t -> 'state t
+val next : 'state t -> 'state t
+val always : 'state t -> 'state t
+val eventually : 'state t -> 'state t
+val until : 'state t -> 'state t -> 'state t
+val implies : 'state t -> 'state t -> 'state t
+
+val check_trace : 'state t -> 'state list -> bool
+(** Finite-trace semantics: [Next] is false at the last position; the
+    empty trace satisfies every formula vacuously. *)
+
+val pp : 'state t Fmt.t

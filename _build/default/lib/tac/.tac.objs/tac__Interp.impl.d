@@ -1,0 +1,1 @@
+lib/tac/interp.ml: Hashtbl Lang List

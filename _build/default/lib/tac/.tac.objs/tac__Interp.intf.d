@@ -1,0 +1,1 @@
+lib/tac/interp.mli: Hashtbl Lang

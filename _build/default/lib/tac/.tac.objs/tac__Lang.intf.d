@@ -1,0 +1,1 @@
+lib/tac/lang.mli: Fmt

@@ -1,0 +1,1 @@
+lib/tac/slice.ml: Fmt Hashtbl Lang List Queue Ssa

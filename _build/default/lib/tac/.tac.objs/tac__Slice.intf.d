@@ -1,0 +1,1 @@
+lib/tac/slice.mli: Fmt Ssa

@@ -1,0 +1,1 @@
+lib/tac/ssa.ml: Array Cfg Fmt Hashtbl Interp Lang List Queue String To_cfg

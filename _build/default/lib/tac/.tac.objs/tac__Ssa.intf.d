@@ -1,0 +1,1 @@
+lib/tac/ssa.mli: Fmt Hashtbl Lang

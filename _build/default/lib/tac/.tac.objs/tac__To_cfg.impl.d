@@ -1,0 +1,1 @@
+lib/tac/to_cfg.ml: Array Cfg Hashtbl Lang List

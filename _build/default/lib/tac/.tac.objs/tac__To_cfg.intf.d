@@ -1,0 +1,1 @@
+lib/tac/to_cfg.mli: Cfg Hashtbl Lang

@@ -1,0 +1,32 @@
+(** Concrete interpreter for the TAC mini-language: the semantic ground
+    truth against which slices and loop bounds are validated. *)
+
+type trace = {
+  visits : (string, int) Hashtbl.t;
+  mutable steps : int;
+  mutable halted : bool;
+}
+
+type state = {
+  regs : (Lang.reg, int) Hashtbl.t;
+  memory : (int, int) Hashtbl.t;
+}
+
+exception Step_limit
+
+val run :
+  ?max_steps:int ->
+  ?on_visit:(string -> int -> unit) ->
+  Lang.program ->
+  inputs:(Lang.reg * int) list ->
+  state * trace
+(** Execute from the entry block to [Halt].  [on_visit label k] fires on
+    every block entry with its running visit count.
+    @raise Step_limit if the program runs longer than [max_steps] blocks. *)
+
+val visits : trace -> string -> int
+(** Times the given block was entered. *)
+
+val for_all_inputs : Lang.program -> ((Lang.reg * int) list -> bool) -> bool
+(** Short-circuiting universal quantification over all input valuations in
+    the declared parameter domains. *)

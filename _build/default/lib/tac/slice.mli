@@ -1,0 +1,21 @@
+(** Backward program slicing (Weiser) on SSA form, as used in Section 5.3
+    to isolate the instructions that determine a loop's control flow.
+
+    The criterion is the register set read by branch terminators, so the
+    slice preserves every branch decision — hence every block visit count
+    — while discarding result-only computation.  Memory is conservative:
+    if any needed load survives, all stores survive (the paper's admitted
+    limitation without pointer analysis). *)
+
+type stats = {
+  total_instrs : int;
+  kept_instrs : int;
+  total_phis : int;
+  kept_phis : int;
+}
+
+val compute : Ssa.t -> Ssa.t * stats
+(** The sliced program (same CFG, irrelevant instructions and phis
+    removed) and reduction statistics. *)
+
+val pp_stats : stats Fmt.t

@@ -1,0 +1,1 @@
+lib/wcet/abstract_cache.ml: Array Hashtbl List

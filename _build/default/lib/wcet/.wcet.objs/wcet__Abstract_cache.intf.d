@@ -1,0 +1,1 @@
+lib/wcet/abstract_cache.mli:

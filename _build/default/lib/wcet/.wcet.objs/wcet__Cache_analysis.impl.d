@@ -1,0 +1,1 @@
+lib/wcet/cache_analysis.ml: Abstract_cache Array Cfg Hw List Queue Timing

@@ -1,0 +1,1 @@
+lib/wcet/cache_analysis.mli: Abstract_cache Cfg Hw Timing

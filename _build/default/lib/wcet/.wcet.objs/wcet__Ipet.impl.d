@@ -1,0 +1,1 @@
+lib/wcet/ipet.ml: Array Cache_analysis Cfg Fmt Hashtbl Ilp List Sys Timing User_constraint

@@ -1,0 +1,1 @@
+lib/wcet/ipet.mli: Cache_analysis Cfg Hw Timing User_constraint

@@ -1,0 +1,1 @@
+lib/wcet/timing.ml: Fmt List

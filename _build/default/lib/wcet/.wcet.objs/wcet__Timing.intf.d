@@ -1,0 +1,1 @@
+lib/wcet/timing.mli: Fmt

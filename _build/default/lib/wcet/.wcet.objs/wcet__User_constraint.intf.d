@@ -1,0 +1,1 @@
+lib/wcet/user_constraint.mli: Fmt

@@ -1,0 +1,29 @@
+(** Static cache analysis: must-analysis fixpoint over an inlined CFG and
+    derivation of sound per-block cycle costs under the paper's conservative
+    hardware model (Section 5.1). *)
+
+type block_cost = {
+  cycles : int;
+  fetch_misses : int;
+  fetch_hits : int;
+  data_misses : int;
+  data_hits : int;
+}
+
+type t = {
+  costs : block_cost array;
+  icache_in : Abstract_cache.t array;  (** entry must-state per block *)
+  dcache_in : Abstract_cache.t array;
+}
+
+val analyse :
+  config:Hw.Config.t ->
+  ?pinned_code:int list ->
+  ?pinned_data:int list ->
+  Timing.t Cfg.Flowgraph.fn ->
+  t
+(** Fixpoint over the (call-free) CFG starting from cold caches at entry.
+    Pinned lines are always guaranteed present. *)
+
+val cost : t -> int -> block_cost
+val total_fetch_misses : t -> int

@@ -1,0 +1,250 @@
+(* Implicit Path Enumeration Technique (Li & Malik), as used by Chronos and
+   by the paper's analysis (Section 5.2).
+
+   The kernel program is virtually inlined into one call-free CFG; the
+   cache analysis assigns every block a sound cycle cost; and the worst
+   case is the solution of an integer linear program over block execution
+   counts x_b and edge traversal counts d_e:
+
+     maximise   sum_b cost_b * x_b
+     subject to structural flow conservation (x_b equals the flow in and
+     the flow out of b, with one unit of virtual flow entering at the entry
+     block and leaving at the exits), loop bounds relating header counts to
+     the flow entering the loop, and the manual constraint forms of
+     {!User_constraint}. *)
+
+type loop_bound = { func : string; header : string; bound : int }
+
+type spec = {
+  program : Timing.t Cfg.Flowgraph.program;
+  bounds : loop_bound list;
+  constraints : User_constraint.t list;
+}
+
+type result = {
+  wcet : int;
+  block_counts : int array;
+  inlined : Timing.t Cfg.Inline.t;
+  costs : Cache_analysis.t;
+  ilp_vars : int;
+  ilp_constraints : int;
+  bb_nodes : int;
+  lp_solves : int;
+  elapsed_s : float;
+}
+
+exception Unbounded_loop of string
+exception No_solution of string
+
+(* Label of the original source block of an inlined block. *)
+let source_label program (origin : Cfg.Inline.origin) =
+  let fn = Cfg.Flowgraph.find_fn program origin.Cfg.Inline.func in
+  (Cfg.Flowgraph.block fn origin.Cfg.Inline.orig_id).Cfg.Flowgraph.label
+
+(* Instance ids of the block labelled [label] in [func], grouped with the
+   instance ids of that instance's entry block, per calling context. *)
+let instances_by_context inlined program ~func =
+  let by_ctx = Hashtbl.create 8 in
+  Array.iteri
+    (fun id (o : Cfg.Inline.origin) ->
+      if o.Cfg.Inline.func = func then begin
+        let label = source_label program o in
+        let entry =
+          (Cfg.Flowgraph.find_fn program func).Cfg.Flowgraph.entry
+          = o.Cfg.Inline.orig_id
+        in
+        let prev =
+          try Hashtbl.find by_ctx o.Cfg.Inline.context with Not_found -> []
+        in
+        Hashtbl.replace by_ctx o.Cfg.Inline.context ((id, label, entry) :: prev)
+      end)
+    inlined.Cfg.Inline.origins;
+  Hashtbl.fold (fun ctx blocks acc -> (ctx, blocks) :: acc) by_ctx []
+  |> List.sort compare
+
+let analyse ~config ?(pinned_code = []) ?(pinned_data = [])
+    ?(forced = ([] : (string * string * int) list)) (spec : spec) =
+  let started = Sys.time () in
+  let inlined = Cfg.Inline.inline spec.program in
+  let fn = inlined.Cfg.Inline.fn in
+  let n = Cfg.Flowgraph.num_blocks fn in
+  let costs = Cache_analysis.analyse ~config ~pinned_code ~pinned_data fn in
+  let loops = Cfg.Loops.compute fn in
+  let problem = Ilp.Problem.create () in
+  let x = Array.init n (fun b -> Ilp.Problem.var problem (Fmt.str "x%d" b)) in
+  (* Edge variables, plus virtual entry/exit edges. *)
+  let edges = Hashtbl.create 64 in
+  Array.iter
+    (fun (b : Timing.t Cfg.Flowgraph.block) ->
+      List.iter
+        (fun s ->
+          if not (Hashtbl.mem edges (b.Cfg.Flowgraph.id, s)) then
+            Hashtbl.replace edges (b.Cfg.Flowgraph.id, s)
+              (Ilp.Problem.var problem
+                 (Fmt.str "d%d_%d" b.Cfg.Flowgraph.id s)))
+        b.Cfg.Flowgraph.succs)
+    fn.Cfg.Flowgraph.blocks;
+  let edge_var e = Hashtbl.find edges e in
+  let entry_var = Ilp.Problem.var problem "d_entry" in
+  let exit_vars =
+    List.map
+      (fun b -> (b, Ilp.Problem.var problem (Fmt.str "d_exit%d" b)))
+      (Cfg.Flowgraph.exits fn)
+  in
+  Ilp.Problem.add_eq ~label:"one entry" problem [ (1, entry_var) ] 1;
+  Ilp.Problem.add_eq ~label:"one exit" problem
+    (List.map (fun (_, v) -> (1, v)) exit_vars)
+    1;
+  let preds = Cfg.Flowgraph.preds fn in
+  Array.iter
+    (fun (b : Timing.t Cfg.Flowgraph.block) ->
+      let id = b.Cfg.Flowgraph.id in
+      let inflow =
+        List.map (fun p -> (1, edge_var (p, id))) preds.(id)
+        @ if id = fn.Cfg.Flowgraph.entry then [ (1, entry_var) ] else []
+      in
+      let outflow =
+        List.map (fun s -> (1, edge_var (id, s))) b.Cfg.Flowgraph.succs
+        @
+        match List.assoc_opt id exit_vars with
+        | Some v -> [ (1, v) ]
+        | None -> []
+      in
+      Ilp.Problem.add_eq
+        ~label:(Fmt.str "flow in %d" id)
+        problem
+        ((1, x.(id)) :: List.map (fun (c, v) -> (-c, v)) inflow)
+        0;
+      Ilp.Problem.add_eq
+        ~label:(Fmt.str "flow out %d" id)
+        problem
+        ((1, x.(id)) :: List.map (fun (c, v) -> (-c, v)) outflow)
+        0)
+    fn.Cfg.Flowgraph.blocks;
+  (* Loop bounds: header count bounded by (bound * flow entering the
+     loop).  The bound counts header visits per loop entry. *)
+  List.iter
+    (fun (l : Cfg.Loops.loop) ->
+      let origin = Cfg.Inline.origin inlined l.Cfg.Loops.header in
+      let label = source_label spec.program origin in
+      let bound =
+        match
+          List.find_opt
+            (fun b -> b.func = origin.Cfg.Inline.func && b.header = label)
+            spec.bounds
+        with
+        | Some b -> b.bound
+        | None ->
+            raise
+              (Unbounded_loop
+                 (Fmt.str "%s/%s (inlined block %d)" origin.Cfg.Inline.func
+                    label l.Cfg.Loops.header))
+      in
+      let entering = Cfg.Loops.entry_edges fn l in
+      Ilp.Problem.add_le
+        ~label:
+          (Fmt.str "loop bound %s/%s <= %d per entry" origin.Cfg.Inline.func
+             label bound)
+        problem
+        ((1, x.(l.Cfg.Loops.header))
+        :: List.map (fun e -> (-bound, edge_var e)) entering)
+        0)
+    (Cfg.Loops.loops loops);
+  (* User constraints, one per calling context (Section 5.2). *)
+  let find_in_ctx blocks label =
+    List.filter_map (fun (id, l, _) -> if l = label then Some id else None) blocks
+  in
+  let entry_of_ctx blocks =
+    List.filter_map (fun (id, _, is_entry) -> if is_entry then Some id else None) blocks
+  in
+  List.iter
+    (fun c ->
+      match c with
+      | User_constraint.Conflicts_with { func; a; b } ->
+          List.iter
+            (fun (_ctx, blocks) ->
+              let xa = find_in_ctx blocks a
+              and xb = find_in_ctx blocks b
+              and entry = entry_of_ctx blocks in
+              if xa <> [] && xb <> [] then
+                Ilp.Problem.add_le
+                  ~label:(Fmt.to_to_string User_constraint.pp c)
+                  problem
+                  (List.map (fun id -> (1, x.(id))) (xa @ xb)
+                  @ List.map (fun id -> (-1, x.(id))) entry)
+                  0)
+            (instances_by_context inlined spec.program ~func)
+      | User_constraint.Consistent_with { func; a; b } ->
+          List.iter
+            (fun (_ctx, blocks) ->
+              let xa = find_in_ctx blocks a and xb = find_in_ctx blocks b in
+              if xa <> [] && xb <> [] then
+                Ilp.Problem.add_eq
+                  ~label:(Fmt.to_to_string User_constraint.pp c)
+                  problem
+                  (List.map (fun id -> (1, x.(id))) xa
+                  @ List.map (fun id -> (-1, x.(id))) xb)
+                  0)
+            (instances_by_context inlined spec.program ~func)
+      | User_constraint.Executes_at_most { func; block; times } ->
+          let all =
+            List.concat_map
+              (fun (_ctx, blocks) -> find_in_ctx blocks block)
+              (instances_by_context inlined spec.program ~func)
+          in
+          if all <> [] then
+            Ilp.Problem.add_le
+              ~label:(Fmt.to_to_string User_constraint.pp c)
+              problem
+              (List.map (fun id -> (1, x.(id))) all)
+              times)
+    spec.constraints;
+  (* Forced path counts (Section 6.2: computing the execution time of a
+     specific realisable path by adding constraints to the ILP). *)
+  List.iter
+    (fun (func, label, count) ->
+      let all =
+        List.concat_map
+          (fun (_ctx, blocks) -> find_in_ctx blocks label)
+          (instances_by_context inlined spec.program ~func)
+      in
+      if all <> [] then
+        Ilp.Problem.add_eq
+          ~label:(Fmt.str "forced %s/%s = %d" func label count)
+          problem
+          (List.map (fun id -> (1, x.(id))) all)
+          count)
+    forced;
+  Ilp.Problem.set_objective problem
+    (Array.to_list
+       (Array.mapi (fun b v -> ((Cache_analysis.cost costs b).cycles, v)) x));
+  let stats = { Ilp.Branch_bound.nodes = 0; lp_solves = 0 } in
+  match Ilp.Branch_bound.solve ~stats problem with
+  | Ilp.Branch_bound.Optimal { objective; values } ->
+      {
+        wcet = objective;
+        block_counts = Array.init n (fun b -> values.((x.(b) :> int)));
+        inlined;
+        costs;
+        ilp_vars = Ilp.Problem.num_vars problem;
+        ilp_constraints = Ilp.Problem.num_constraints problem;
+        bb_nodes = stats.Ilp.Branch_bound.nodes;
+        lp_solves = stats.Ilp.Branch_bound.lp_solves;
+        elapsed_s = Sys.time () -. started;
+      }
+  | Ilp.Branch_bound.Infeasible -> raise (No_solution "ILP infeasible")
+  | Ilp.Branch_bound.Unbounded -> raise (No_solution "ILP unbounded")
+
+(* Render the worst-case path as (label, count, per-visit cycles) rows for
+   blocks on the path, in block order. *)
+let worst_path result =
+  let fn = result.inlined.Cfg.Inline.fn in
+  Array.to_list fn.Cfg.Flowgraph.blocks
+  |> List.filter_map (fun (b : Timing.t Cfg.Flowgraph.block) ->
+         let count = result.block_counts.(b.Cfg.Flowgraph.id) in
+         if count = 0 then None
+         else
+           Some
+             ( b.Cfg.Flowgraph.label,
+               count,
+               (Cache_analysis.cost result.costs b.Cfg.Flowgraph.id).cycles ))

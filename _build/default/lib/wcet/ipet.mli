@@ -1,0 +1,43 @@
+(** Implicit Path Enumeration Technique: virtual inlining, cache analysis,
+    ILP generation and solving, as in Section 5.2 of the paper. *)
+
+type loop_bound = { func : string; header : string; bound : int }
+(** Maximum executions of the header block per entry into the loop. *)
+
+type spec = {
+  program : Timing.t Cfg.Flowgraph.program;
+  bounds : loop_bound list;
+  constraints : User_constraint.t list;
+}
+
+type result = {
+  wcet : int;  (** sound upper bound, in cycles *)
+  block_counts : int array;  (** worst-case execution count per inlined block *)
+  inlined : Timing.t Cfg.Inline.t;
+  costs : Cache_analysis.t;
+  ilp_vars : int;
+  ilp_constraints : int;
+  bb_nodes : int;
+  lp_solves : int;
+  elapsed_s : float;
+}
+
+exception Unbounded_loop of string
+(** A loop header without an iteration bound; the analysis requires all
+    loops bounded (Section 5.3). *)
+
+exception No_solution of string
+
+val analyse :
+  config:Hw.Config.t ->
+  ?pinned_code:int list ->
+  ?pinned_data:int list ->
+  ?forced:(string * string * int) list ->
+  spec ->
+  result
+(** Compute the WCET bound.  [forced] pins total execution counts of
+    (function, block label) pairs, which is how Section 6.2 computes the
+    predicted time of a specific realisable path. *)
+
+val worst_path : result -> (string * int * int) list
+(** Blocks on the worst-case path: (inlined label, count, cycles/visit). *)

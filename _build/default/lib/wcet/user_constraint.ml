@@ -1,0 +1,32 @@
+(* The three manual constraint forms of Section 5.2:
+
+   - "a conflicts with b in f": the blocks are mutually exclusive within one
+     invocation of f (but may each run under different invocations);
+   - "a is consistent with b in f": the blocks execute the same number of
+     times within any invocation of f;
+   - "a executes n times": a global cap over all contexts.
+
+   Blocks are named by their label within their source function; virtual
+   inlining multiplies them into one instance per calling context, and the
+   constraint is emitted once per context (except the global cap, which sums
+   all contexts).  The paper notes these constraints could be discharged as
+   proof obligations; here they are plain data that tests can audit. *)
+
+type t =
+  | Conflicts_with of { func : string; a : string; b : string }
+  | Consistent_with of { func : string; a : string; b : string }
+  | Executes_at_most of { func : string; block : string; times : int }
+
+let conflicts ~func a b = Conflicts_with { func; a; b }
+let consistent ~func a b = Consistent_with { func; a; b }
+let executes_at_most ~func block times =
+  assert (times >= 0);
+  Executes_at_most { func; block; times }
+
+let pp ppf = function
+  | Conflicts_with { func; a; b } ->
+      Fmt.pf ppf "%s conflicts with %s in %s" a b func
+  | Consistent_with { func; a; b } ->
+      Fmt.pf ppf "%s is consistent with %s in %s" a b func
+  | Executes_at_most { func; block; times } ->
+      Fmt.pf ppf "%s in %s executes at most %d times" block func times

@@ -1,0 +1,20 @@
+(** The three manual constraint forms of Section 5.2, used to exclude
+    infeasible paths from the ILP:
+
+    - "a conflicts with b in f": mutually exclusive within one invocation;
+    - "a is consistent with b in f": equal execution counts per invocation
+      (the Figure 6 duplicated-switch pattern);
+    - "a executes at most n times": a global cap across all contexts.
+
+    Blocks are named by label within their source function; virtual
+    inlining multiplies each constraint across calling contexts. *)
+
+type t =
+  | Conflicts_with of { func : string; a : string; b : string }
+  | Consistent_with of { func : string; a : string; b : string }
+  | Executes_at_most of { func : string; block : string; times : int }
+
+val conflicts : func:string -> string -> string -> t
+val consistent : func:string -> string -> string -> t
+val executes_at_most : func:string -> string -> int -> t
+val pp : t Fmt.t

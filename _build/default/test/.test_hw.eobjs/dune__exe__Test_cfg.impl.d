@@ -1,0 +1,1 @@
+test/test_cfg.ml: Alcotest Array Cfg Fmt List Option QCheck QCheck_alcotest

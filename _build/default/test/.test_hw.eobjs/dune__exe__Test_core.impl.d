@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Fmt Hw List Sel4 Sel4_rt Wcet

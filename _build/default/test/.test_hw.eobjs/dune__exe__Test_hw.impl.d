@@ -1,0 +1,1 @@
+test/test_hw.ml: Alcotest Gen Hw List QCheck QCheck_alcotest

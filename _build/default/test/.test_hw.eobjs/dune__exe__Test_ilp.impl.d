@@ -1,0 +1,1 @@
+test/test_ilp.ml: Alcotest Array Dump Fmt Ilp List QCheck QCheck_alcotest Stdlib String

@@ -1,0 +1,1 @@
+test/test_kernel.ml: Alcotest Array Fmt Hw List QCheck QCheck_alcotest Result Sel4 String

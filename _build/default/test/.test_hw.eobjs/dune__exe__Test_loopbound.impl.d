@@ -1,0 +1,1 @@
+test/test_loopbound.ml: Alcotest Fmt List Loopbound QCheck QCheck_alcotest Tac

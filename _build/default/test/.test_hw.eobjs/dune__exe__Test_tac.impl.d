@@ -1,0 +1,1 @@
+test/test_tac.ml: Alcotest Array Fmt Hashtbl List QCheck QCheck_alcotest Tac

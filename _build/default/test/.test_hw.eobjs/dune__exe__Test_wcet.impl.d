@@ -1,0 +1,1 @@
+test/test_wcet.ml: Alcotest Array Cfg Fmt Hw List QCheck QCheck_alcotest String Wcet

@@ -1,0 +1,311 @@
+(* Tests for the CFG library: structure, dominators, natural loops and
+   virtual inlining. *)
+
+module F = Cfg.Flowgraph
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_ints = Alcotest.(check (list int))
+
+(* A diamond:  0 -> 1 -> 3, 0 -> 2 -> 3 *)
+let diamond () =
+  let b = F.Builder.create "diamond" in
+  let n0 = F.Builder.add b ~label:"entry" ()
+  and n1 = F.Builder.add b ~label:"left" ()
+  and n2 = F.Builder.add b ~label:"right" ()
+  and n3 = F.Builder.add b ~label:"join" () in
+  F.Builder.edge b n0 n1;
+  F.Builder.edge b n0 n2;
+  F.Builder.edge b n1 n3;
+  F.Builder.edge b n2 n3;
+  F.Builder.finish b
+
+(* A loop:  0 -> 1(header) -> 2(body) -> 1, 1 -> 3(exit) *)
+let simple_loop () =
+  let b = F.Builder.create "loop" in
+  let n0 = F.Builder.add b ~label:"pre" ()
+  and n1 = F.Builder.add b ~label:"header" ()
+  and n2 = F.Builder.add b ~label:"body" ()
+  and n3 = F.Builder.add b ~label:"exit" () in
+  F.Builder.edge b n0 n1;
+  F.Builder.edge b n1 n2;
+  F.Builder.edge b n2 n1;
+  F.Builder.edge b n1 n3;
+  F.Builder.finish b
+
+(* Nested loops: 0 -> 1 -> 2 -> 3 -> 2, 3 -> 1, 1 -> 4 *)
+let nested_loops () =
+  let b = F.Builder.create "nested" in
+  let n0 = F.Builder.add b ~label:"pre" ()
+  and n1 = F.Builder.add b ~label:"outer" ()
+  and n2 = F.Builder.add b ~label:"inner" ()
+  and n3 = F.Builder.add b ~label:"latch" ()
+  and n4 = F.Builder.add b ~label:"exit" () in
+  F.Builder.edge b n0 n1;
+  F.Builder.edge b n1 n2;
+  F.Builder.edge b n2 n3;
+  F.Builder.edge b n3 n2;
+  F.Builder.edge b n3 n1;
+  F.Builder.edge b n1 n4;
+  F.Builder.finish b
+
+let test_structure () =
+  let fn = diamond () in
+  check_int "blocks" 4 (F.num_blocks fn);
+  check_ints "exits" [ 3 ] (F.exits fn);
+  let preds = F.preds fn in
+  check_ints "preds of join" [ 1; 2 ] (List.sort compare preds.(3));
+  check_ints "rpo starts at entry" [ 0 ]
+    [ List.hd (F.reverse_postorder fn) ]
+
+let test_malformed () =
+  Alcotest.check_raises "bad edge"
+    (F.Malformed "bad: edge 0 -> 7 out of range")
+    (fun () ->
+      let b = F.Builder.create "bad" in
+      let n0 = F.Builder.add b ~label:"only" () in
+      F.Builder.edge b n0 7;
+      ignore (F.Builder.finish b))
+
+let test_dominators_diamond () =
+  let fn = diamond () in
+  let dom = Cfg.Dominators.compute fn in
+  Alcotest.(check (option int)) "idom of left" (Some 0) (Cfg.Dominators.idom dom 1);
+  Alcotest.(check (option int)) "idom of join" (Some 0) (Cfg.Dominators.idom dom 3);
+  check_bool "entry dominates all" true (Cfg.Dominators.dominates dom 0 3);
+  check_bool "left does not dominate join" false
+    (Cfg.Dominators.dominates dom 1 3);
+  check_bool "dominance is reflexive" true (Cfg.Dominators.dominates dom 2 2)
+
+let test_dominance_frontier () =
+  let fn = diamond () in
+  let dom = Cfg.Dominators.compute fn in
+  let df = Cfg.Dominators.frontiers fn dom in
+  check_ints "frontier of left is join" [ 3 ] df.(1);
+  check_ints "frontier of right is join" [ 3 ] df.(2);
+  check_ints "frontier of entry empty" [] df.(0)
+
+let test_loops_simple () =
+  let fn = simple_loop () in
+  let loops = Cfg.Loops.compute fn in
+  match Cfg.Loops.loops loops with
+  | [ l ] ->
+      check_int "header" 1 l.Cfg.Loops.header;
+      check_ints "body" [ 1; 2 ] l.Cfg.Loops.body;
+      check_int "depth" 1 l.Cfg.Loops.depth;
+      Alcotest.(check (list (pair int int)))
+        "entry edges" [ (0, 1) ]
+        (Cfg.Loops.entry_edges fn l);
+      check_bool "reducible" true (Cfg.Loops.is_reducible fn loops)
+  | ls -> Alcotest.failf "expected one loop, got %d" (List.length ls)
+
+let test_loops_nested () =
+  let fn = nested_loops () in
+  let loops = Cfg.Loops.compute fn in
+  check_int "two loops" 2 (List.length (Cfg.Loops.loops loops));
+  let outer = Option.get (Cfg.Loops.loop_of_header loops 1) in
+  let inner = Option.get (Cfg.Loops.loop_of_header loops 2) in
+  check_int "outer depth" 1 outer.Cfg.Loops.depth;
+  check_int "inner depth" 2 inner.Cfg.Loops.depth;
+  check_ints "outer body" [ 1; 2; 3 ] outer.Cfg.Loops.body;
+  check_ints "inner body" [ 2; 3 ] inner.Cfg.Loops.body;
+  let innermost = Option.get (Cfg.Loops.innermost_containing loops 3) in
+  check_int "latch innermost loop" 2 innermost.Cfg.Loops.header
+
+let test_irreducible () =
+  (* 0 -> 1, 0 -> 2, 1 -> 2, 2 -> 1: the 1<->2 cycle has two entries. *)
+  let b = F.Builder.create "irr" in
+  let n0 = F.Builder.add b ~label:"e" ()
+  and n1 = F.Builder.add b ~label:"a" ()
+  and n2 = F.Builder.add b ~label:"b" () in
+  F.Builder.edge b n0 n1;
+  F.Builder.edge b n0 n2;
+  F.Builder.edge b n1 n2;
+  F.Builder.edge b n2 n1;
+  let fn = F.Builder.finish b in
+  let loops = Cfg.Loops.compute fn in
+  check_bool "detected as irreducible" false (Cfg.Loops.is_reducible fn loops)
+
+(* --- virtual inlining --- *)
+
+let leaf_fn name =
+  let b = F.Builder.create name in
+  let n0 = F.Builder.add b ~label:"body" () in
+  ignore n0;
+  F.Builder.finish b
+
+let caller_fn callee =
+  let b = F.Builder.create "caller" in
+  let n0 = F.Builder.add b ~label:"pre" ~call:callee ()
+  and n1 = F.Builder.add b ~label:"mid" ~call:callee ()
+  and n2 = F.Builder.add b ~label:"post" () in
+  F.Builder.edge b n0 n1;
+  F.Builder.edge b n1 n2;
+  F.Builder.finish b
+
+let test_inline_basic () =
+  let prog =
+    { F.funcs = [ caller_fn "leaf"; leaf_fn "leaf" ]; main = "caller" }
+  in
+  let inlined = Cfg.Inline.inline prog in
+  (* 3 caller blocks + 2 clones of the 1-block leaf. *)
+  check_int "block count" 5 (F.num_blocks inlined.Cfg.Inline.fn);
+  let instances =
+    Cfg.Inline.instances inlined ~func:"leaf" ~orig_id:0
+  in
+  check_int "two leaf instances" 2 (List.length instances);
+  (* Every instance must be on a path entry..exit. *)
+  check_ints "one exit" [ 1 ]
+    [ List.length (F.exits inlined.Cfg.Inline.fn) ]
+
+let test_inline_contexts () =
+  let prog =
+    { F.funcs = [ caller_fn "leaf"; leaf_fn "leaf" ]; main = "caller" }
+  in
+  let inlined = Cfg.Inline.inline prog in
+  let ctxs = Cfg.Inline.contexts_of inlined ~func:"leaf" in
+  check_int "two contexts" 2 (List.length ctxs);
+  check_bool "contexts distinct" true
+    (match ctxs with (a, _) :: (b, _) :: _ -> a <> b | _ -> false)
+
+let test_inline_recursion_rejected () =
+  let b = F.Builder.create "rec" in
+  let n0 = F.Builder.add b ~label:"again" ~call:"rec" () in
+  ignore n0;
+  let fn = F.Builder.finish b in
+  let prog = { F.funcs = [ fn ]; main = "rec" } in
+  Alcotest.check_raises "recursion" (Cfg.Inline.Recursive "rec") (fun () ->
+      ignore (Cfg.Inline.inline prog))
+
+let test_inline_preserves_paths () =
+  (* caller with a call in one branch of a diamond: path structure must be
+     preserved (same number of entry-to-exit paths). *)
+  let callee =
+    let b = F.Builder.create "g" in
+    let n0 = F.Builder.add b ~label:"g0" ()
+    and n1 = F.Builder.add b ~label:"g1" ()
+    and n2 = F.Builder.add b ~label:"g2" () in
+    F.Builder.edge b n0 n1;
+    F.Builder.edge b n0 n2;
+    F.Builder.finish b
+  in
+  let caller =
+    let b = F.Builder.create "f" in
+    let n0 = F.Builder.add b ~label:"f0" ()
+    and n1 = F.Builder.add b ~label:"f1" ~call:"g" ()
+    and n2 = F.Builder.add b ~label:"f2" ()
+    and n3 = F.Builder.add b ~label:"f3" () in
+    F.Builder.edge b n0 n1;
+    F.Builder.edge b n0 n2;
+    F.Builder.edge b n1 n3;
+    F.Builder.edge b n2 n3;
+    F.Builder.finish b
+  in
+  let prog = { F.funcs = [ caller; callee ]; main = "f" } in
+  let inlined = Cfg.Inline.inline prog in
+  (* Count acyclic paths entry->exit by DFS. *)
+  let count_paths fn =
+    let rec walk id =
+      match F.succs fn id with
+      | [] -> 1
+      | succs -> List.fold_left (fun acc s -> acc + walk s) 0 succs
+    in
+    walk fn.F.entry
+  in
+  (* f has paths: f0-f1-g{2 paths}-f3 and f0-f2-f3 = 3 paths. *)
+  check_int "path count preserved" 3 (count_paths inlined.Cfg.Inline.fn)
+
+(* Random reducible CFG generator: blocks 0..n-1, forward edges i -> j
+   (i < j) plus self-contained back edges j -> i only when i dominates j by
+   construction (we only add back edges to a chain ancestor).  Properties:
+   detected loops are reducible, dominators are consistent. *)
+let random_reducible =
+  QCheck.Gen.(
+    let* n = int_range 3 12 in
+    let* forward =
+      list_repeat (2 * n)
+        (let* a = int_range 0 (n - 2) in
+         let* b = int_range (a + 1) (n - 1) in
+         return (a, b))
+    in
+    let* backs =
+      list_repeat (n / 3)
+        (let* target = int_range 0 (n - 2) in
+         let* src = int_range target (n - 1) in
+         return (src, target))
+    in
+    return (n, forward, backs))
+
+let build_random (n, forward, backs) =
+  let b = F.Builder.create "rand" in
+  let ids = Array.init n (fun i -> F.Builder.add b ~label:(Fmt.str "b%d" i) ()) in
+  (* Chain edges guarantee connectivity. *)
+  for i = 0 to n - 2 do
+    F.Builder.edge b ids.(i) ids.(i + 1)
+  done;
+  List.iter (fun (x, y) -> if x <> y then F.Builder.edge b ids.(x) ids.(y)) forward;
+  List.iter (fun (x, y) -> if x <> y then F.Builder.edge b ids.(x) ids.(y)) backs;
+  F.Builder.finish b
+
+let test_dominator_soundness =
+  QCheck.Test.make ~count:200 ~name:"idom dominates its block"
+    (QCheck.make random_reducible)
+    (fun instance ->
+      let fn = build_random instance in
+      let dom = Cfg.Dominators.compute fn in
+      List.for_all
+        (fun b ->
+          match Cfg.Dominators.idom dom b with
+          | None -> true
+          | Some d -> Cfg.Dominators.dominates dom d b)
+        (F.reverse_postorder fn))
+
+let test_loop_headers_dominate_bodies =
+  QCheck.Test.make ~count:200 ~name:"loop headers dominate their bodies"
+    (QCheck.make random_reducible)
+    (fun instance ->
+      let fn = build_random instance in
+      let dom = Cfg.Dominators.compute fn in
+      let loops = Cfg.Loops.compute fn in
+      List.for_all
+        (fun l ->
+          List.for_all
+            (fun b -> Cfg.Dominators.dominates dom l.Cfg.Loops.header b)
+            l.Cfg.Loops.body)
+        (Cfg.Loops.loops loops))
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "cfg"
+    [
+      ( "structure",
+        Alcotest.
+          [
+            test_case "basics" `Quick test_structure;
+            test_case "malformed" `Quick test_malformed;
+          ] );
+      ( "dominators",
+        Alcotest.
+          [
+            test_case "diamond" `Quick test_dominators_diamond;
+            test_case "frontiers" `Quick test_dominance_frontier;
+          ]
+        @ qsuite [ test_dominator_soundness ] );
+      ( "loops",
+        Alcotest.
+          [
+            test_case "simple" `Quick test_loops_simple;
+            test_case "nested" `Quick test_loops_nested;
+            test_case "irreducible" `Quick test_irreducible;
+          ]
+        @ qsuite [ test_loop_headers_dominate_bodies ] );
+      ( "inline",
+        Alcotest.
+          [
+            test_case "basic" `Quick test_inline_basic;
+            test_case "contexts" `Quick test_inline_contexts;
+            test_case "recursion rejected" `Quick test_inline_recursion_rejected;
+            test_case "paths preserved" `Quick test_inline_preserves_paths;
+          ] );
+    ]

