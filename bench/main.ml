@@ -3,6 +3,10 @@
    Usage:
      dune exec bench/main.exe                 -- run every section
      dune exec bench/main.exe <section> ...   -- run selected sections
+     dune exec bench/main.exe -- --json <section> ...
+         -- additionally time each section, rerun them serially with the
+            analysis cache disabled, and write speedup, cache statistics
+            and per-entry ILP metrics to BENCH_wcet.json
 
    Sections (one per paper artefact, see DESIGN.md's experiment index):
      table1   Table 1  - WCET with/without cache pinning
@@ -78,11 +82,14 @@ let micro_tests () =
              (K.kernel_entry env.B.k (K.Ev_reply_recv { ep = 10; msg_len = 1 }))))
   in
   let ilp_test =
+    (* Bypass the analysis cache: the point is to measure the pipeline, not
+       a table lookup. *)
     Test.make ~name:"ipet-interrupt-analysis"
       (Staged.stage (fun () ->
            ignore
-             (Sel4_rt.Response_time.computed_cycles ~config:Hw.Config.default
-                Sel4.Build.improved Sel4_rt.Kernel_model.Interrupt)))
+             (Wcet.Ipet.analyse ~config:Hw.Config.default
+                (Sel4_rt.Kernel_model.spec Sel4.Build.improved
+                   Sel4_rt.Kernel_model.Interrupt))))
   in
   Test.make_grouped ~name:"micro"
     [
@@ -133,20 +140,139 @@ let sections =
     ("micro", run_micro);
   ]
 
+(* --- driver --- *)
+
+let section_fn name =
+  match List.assoc_opt name sections with
+  | Some f -> f
+  | None ->
+      Fmt.epr "unknown section %s; available: %s@." name
+        (String.concat " " (List.map fst sections));
+      exit 1
+
+(* Run [f] with the standard formatter's output discarded (the serial
+   baseline rerun recomputes every section; its output is redundant). *)
+let silenced f =
+  let fmt = Format.std_formatter in
+  Format.pp_print_flush fmt ();
+  let saved = Format.pp_get_formatter_out_functions fmt () in
+  Format.pp_set_formatter_out_functions fmt
+    {
+      Format.out_string = (fun _ _ _ -> ());
+      out_flush = (fun () -> ());
+      out_newline = (fun () -> ());
+      out_spaces = (fun _ -> ());
+      out_indent = (fun _ -> ());
+    };
+  Fun.protect
+    ~finally:(fun () ->
+      Format.pp_print_flush fmt ();
+      Format.pp_set_formatter_out_functions fmt saved)
+    f
+
+let timed f =
+  let started = Wcet.Clock.now_s () in
+  f ();
+  Wcet.Clock.now_s () -. started
+
+(* Minimal JSON emission; every string we print is a known identifier, so
+   escaping only needs the basics. *)
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let write_json ~path ~section_times ~engine_wall_s ~serial_fresh_wall_s
+    ~(stats : Sel4_rt.Analysis_cache.stats) ~domains ~analysis_rows =
+  let buf = Buffer.create 2048 in
+  let addf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let f v = Printf.sprintf "%.6f" v in
+  addf "{\n  \"sections\": [\n";
+  List.iteri
+    (fun i (name, wall) ->
+      addf "    {\"name\": \"%s\", \"wall_s\": %s}%s\n" (json_escape name)
+        (f wall)
+        (if i < List.length section_times - 1 then "," else ""))
+    section_times;
+  addf "  ],\n";
+  addf "  \"engine_wall_s\": %s,\n" (f engine_wall_s);
+  addf "  \"serial_fresh_wall_s\": %s,\n" (f serial_fresh_wall_s);
+  addf "  \"speedup\": %s,\n"
+    (f (if engine_wall_s > 0.0 then serial_fresh_wall_s /. engine_wall_s else 0.0));
+  addf "  \"domains\": %d,\n" domains;
+  addf
+    "  \"cache\": {\"hits\": %d, \"misses\": %d, \"hit_rate\": %s, \
+     \"prefix_hits\": %d, \"prefix_misses\": %d},\n"
+    stats.Sel4_rt.Analysis_cache.hits stats.Sel4_rt.Analysis_cache.misses
+    (f (Sel4_rt.Analysis_cache.hit_rate stats))
+    stats.Sel4_rt.Analysis_cache.prefix_hits
+    stats.Sel4_rt.Analysis_cache.prefix_misses;
+  addf "  \"analysis\": [\n";
+  List.iteri
+    (fun i (r : Sel4_rt.Experiments.analysis_cost_row) ->
+      addf
+        "    {\"entry\": \"%s\", \"ilp_vars\": %d, \"ilp_constraints\": %d, \
+         \"bb_nodes\": %d, \"lp_solves\": %d, \"elapsed_s\": %s, \"wcet\": \
+         %d}%s\n"
+        (json_escape
+           (Sel4_rt.Kernel_model.entry_name r.Sel4_rt.Experiments.ac_entry))
+        r.Sel4_rt.Experiments.ilp_vars r.Sel4_rt.Experiments.ilp_constraints
+        r.Sel4_rt.Experiments.bb_nodes r.Sel4_rt.Experiments.lp_solves
+        (f r.Sel4_rt.Experiments.elapsed_s)
+        r.Sel4_rt.Experiments.constrained_wcet
+        (if i < List.length analysis_rows - 1 then "," else ""))
+    analysis_rows;
+  addf "  ]\n}\n";
+  let oc = open_out path in
+  output_string oc (Buffer.contents buf);
+  close_out oc
+
 let () =
-  let requested =
-    match Array.to_list Sys.argv with
-    | _ :: (_ :: _ as args) -> args
-    | _ -> List.map fst sections
+  let args = List.tl (Array.to_list Sys.argv) in
+  let flags, names = List.partition (fun a -> String.length a > 1 && a.[0] = '-') args in
+  let json = List.mem "--json" flags in
+  (match List.filter (fun fl -> fl <> "--json") flags with
+  | [] -> ()
+  | fl :: _ ->
+      Fmt.epr "unknown flag %s (only --json is supported)@." fl;
+      exit 1);
+  let requested = match names with [] -> List.map fst sections | _ -> names in
+  let section_times =
+    List.map
+      (fun name ->
+        let f = section_fn name in
+        Fmt.pr "==== %s ====@." name;
+        (name, timed f))
+      requested
   in
-  List.iter
-    (fun name ->
-      match List.assoc_opt name sections with
-      | Some f ->
-          Fmt.pr "==== %s ====@." name;
-          f ()
-      | None ->
-          Fmt.epr "unknown section %s; available: %s@." name
-            (String.concat " " (List.map fst sections));
-          exit 1)
-    requested
+  if json then begin
+    let engine_wall_s = List.fold_left (fun a (_, t) -> a +. t) 0.0 section_times in
+    let stats = Sel4_rt.Analysis_cache.stats () in
+    let domains = Sel4_rt.Parallel.size (Sel4_rt.Parallel.default ()) in
+    (* The ILP-size rows are cached by now, so this re-query is free. *)
+    let analysis_rows = Sel4_rt.Experiments.analysis_cost () in
+    (* Serial fresh baseline: same sections, one domain, no memoisation. *)
+    Sel4_rt.Parallel.set_serial true;
+    Sel4_rt.Analysis_cache.set_enabled false;
+    let serial_fresh_wall_s =
+      silenced (fun () ->
+          List.fold_left (fun acc name -> acc +. timed (section_fn name)) 0.0 requested)
+    in
+    Sel4_rt.Analysis_cache.set_enabled true;
+    Sel4_rt.Parallel.set_serial false;
+    let path = "BENCH_wcet.json" in
+    write_json ~path ~section_times ~engine_wall_s ~serial_fresh_wall_s ~stats
+      ~domains ~analysis_rows;
+    Fmt.pr "@.engine: %.3fs  serial fresh: %.3fs  speedup: %.1fx  cache hit \
+            rate: %.0f%%  (%s)@."
+      engine_wall_s serial_fresh_wall_s
+      (serial_fresh_wall_s /. engine_wall_s)
+      (100.0 *. Sel4_rt.Analysis_cache.hit_rate stats)
+      path
+  end

@@ -1,0 +1,56 @@
+(** Content-keyed, domain-safe memo cache over the WCET analysis pipeline.
+
+    Results are keyed on (build variant, entry point, kernel-model
+    parameters, hardware configuration, pinned lines, forced-path
+    constraints, use of manual constraints); the analysis prefix (inlining
+    + loop detection + cache fixpoint) is cached separately and shared by
+    every ILP variant over it.  Concurrent requests for the same key
+    compute once: later requesters block until the first one's result (or
+    exception) is available.
+
+    Cached {!Wcet.Ipet.result} values are shared structurally — treat
+    their arrays as read-only. *)
+
+val computed :
+  ?params:Kernel_model.params ->
+  ?pinned_code:int list ->
+  ?pinned_data:int list ->
+  ?use_constraints:bool ->
+  ?forced:(string * string * int) list ->
+  config:Hw.Config.t ->
+  Sel4.Build.t ->
+  Kernel_model.entry_point ->
+  Wcet.Ipet.result
+(** Memoised [Kernel_model.spec |> Wcet.Ipet.analyse].
+    [use_constraints:false] drops the spec's manual constraints (and, when
+    the constrained sibling is already cached, warm-starts from its
+    solution). *)
+
+val computed_cycles :
+  ?params:Kernel_model.params ->
+  ?pinned_code:int list ->
+  ?pinned_data:int list ->
+  ?use_constraints:bool ->
+  ?forced:(string * string * int) list ->
+  config:Hw.Config.t ->
+  Sel4.Build.t ->
+  Kernel_model.entry_point ->
+  int
+
+type stats = {
+  hits : int;  (** result-cache hits (including waits on in-flight keys) *)
+  misses : int;  (** result-cache misses (fresh computations) *)
+  prefix_hits : int;
+  prefix_misses : int;
+}
+
+val stats : unit -> stats
+val hit_rate : stats -> float
+(** [hits / (hits + misses)], 0 if no lookups. *)
+
+val reset : unit -> unit
+(** Drop settled entries and zero the counters. *)
+
+val set_enabled : bool -> unit
+(** When disabled, every call recomputes from scratch and touches neither
+    the tables nor the counters (the serial-fresh benchmark baseline). *)

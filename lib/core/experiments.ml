@@ -10,6 +10,33 @@ let original = Sel4.Build.original
 
 let us = Hw.Config.cycles_to_us
 
+(* Analysis jobs fan out over the shared domain pool.  Every job is a pure
+   function of (entry, config, build, params), so batch results are
+   deterministic and identical to the serial path; [Parallel.run_all]
+   preserves submission order. *)
+let batch thunks = Parallel.run_all (Parallel.default ()) thunks
+
+(* Split a flat batch-result list into consecutive chunks of [n] (one chunk
+   per row submitted). *)
+let chunks n xs =
+  let rec go acc xs =
+    match xs with
+    | [] -> List.rev acc
+    | _ ->
+        let rec take k xs =
+          if k = 0 then ([], xs)
+          else
+            match xs with
+            | [] -> invalid_arg "chunks: ragged input"
+            | x :: rest ->
+                let taken, rest = take (k - 1) rest in
+                (x :: taken, rest)
+        in
+        let chunk, rest = take n xs in
+        go (chunk :: acc) rest
+  in
+  go [] xs
+
 (* --- Table 1: WCET with and without cache pinning --- *)
 
 type table1_row = {
@@ -29,24 +56,32 @@ let table1 () =
       data = selection.Pinning.data_lines;
     }
   in
-  List.map
-    (fun entry ->
-      let without_pinning =
-        Response_time.computed_cycles ~config improved entry
-      in
-      let with_pinning =
-        Response_time.computed_cycles ~pins ~config:pinned_config improved entry
-      in
-      {
-        t1_entry = entry;
-        without_pinning;
-        with_pinning;
-        gain_percent =
-          100.0
-          *. float_of_int (without_pinning - with_pinning)
-          /. float_of_int without_pinning;
-      })
-    Kernel_model.entry_points
+  let cells =
+    batch
+      (List.concat_map
+         (fun entry ->
+           [
+             (fun () -> Response_time.computed_cycles ~config improved entry);
+             (fun () ->
+               Response_time.computed_cycles ~pins ~config:pinned_config
+                 improved entry);
+           ])
+         Kernel_model.entry_points)
+  in
+  List.map2
+    (fun entry -> function
+      | [ without_pinning; with_pinning ] ->
+          {
+            t1_entry = entry;
+            without_pinning;
+            with_pinning;
+            gain_percent =
+              100.0
+              *. float_of_int (without_pinning - with_pinning)
+              /. float_of_int without_pinning;
+          }
+      | _ -> assert false)
+    Kernel_model.entry_points (chunks 2 cells)
 
 let print_table1 rows =
   let config = Hw.Config.default in
@@ -74,21 +109,34 @@ type table2_row = {
 }
 
 let table2 ?(runs = 15) () =
-  let cell ~config entry =
-    let computed = Response_time.computed_cycles ~config improved entry in
-    let observed = Response_time.observed ~runs ~config improved entry in
+  let off = Hw.Config.default and on = Hw.Config.with_l2 in
+  let cells =
+    batch
+      (List.concat_map
+         (fun entry ->
+           [
+             (fun () -> Response_time.computed_cycles ~config:off original entry);
+             (fun () -> Response_time.computed_cycles ~config:off improved entry);
+             (fun () -> Response_time.observed ~runs ~config:off improved entry);
+             (fun () -> Response_time.computed_cycles ~config:on improved entry);
+             (fun () -> Response_time.observed ~runs ~config:on improved entry);
+           ])
+         Kernel_model.entry_points)
+  in
+  let cell computed observed =
     { computed; observed; ratio = float_of_int computed /. float_of_int observed }
   in
-  List.map
-    (fun entry ->
-      {
-        t2_entry = entry;
-        before_l2_off =
-          Response_time.computed_cycles ~config:Hw.Config.default original entry;
-        after_l2_off = cell ~config:Hw.Config.default entry;
-        after_l2_on = cell ~config:Hw.Config.with_l2 entry;
-      })
-    Kernel_model.entry_points
+  List.map2
+    (fun entry -> function
+      | [ before; off_c; off_o; on_c; on_o ] ->
+          {
+            t2_entry = entry;
+            before_l2_off = before;
+            after_l2_off = cell off_c off_o;
+            after_l2_on = cell on_c on_o;
+          }
+      | _ -> assert false)
+    Kernel_model.entry_points (chunks 5 cells)
 
 let print_table2 rows =
   let off = Hw.Config.default and on = Hw.Config.with_l2 in
@@ -119,19 +167,32 @@ type fig8_row = {
 }
 
 let fig8 ?(runs = 15) () =
-  let over ~config entry =
-    let predicted = Response_time.computed_for_path ~config improved entry in
-    let observed = Response_time.observed ~runs ~config improved entry in
+  let off = Hw.Config.default and on = Hw.Config.with_l2 in
+  let cells =
+    batch
+      (List.concat_map
+         (fun entry ->
+           [
+             (fun () -> Response_time.computed_for_path ~config:off improved entry);
+             (fun () -> Response_time.observed ~runs ~config:off improved entry);
+             (fun () -> Response_time.computed_for_path ~config:on improved entry);
+             (fun () -> Response_time.observed ~runs ~config:on improved entry);
+           ])
+         Kernel_model.entry_points)
+  in
+  let over predicted observed =
     100.0 *. float_of_int (predicted - observed) /. float_of_int observed
   in
-  List.map
-    (fun entry ->
-      {
-        f8_entry = entry;
-        overestimation_l2_off = over ~config:Hw.Config.default entry;
-        overestimation_l2_on = over ~config:Hw.Config.with_l2 entry;
-      })
-    Kernel_model.entry_points
+  List.map2
+    (fun entry -> function
+      | [ off_p; off_o; on_p; on_o ] ->
+          {
+            f8_entry = entry;
+            overestimation_l2_off = over off_p off_o;
+            overestimation_l2_on = over on_p on_o;
+          }
+      | _ -> assert false)
+    Kernel_model.entry_points (chunks 4 cells)
 
 let print_fig8 rows =
   Fmt.pr "@.Figure 8: overestimation of the hardware model (forced paths)@.";
@@ -154,17 +215,25 @@ type fig9_row = {
 }
 
 let fig9 ?(runs = 15) () =
-  let obs ~config entry = Response_time.observed ~runs ~config improved entry in
-  List.map
-    (fun entry ->
-      {
-        f9_entry = entry;
-        baseline = obs ~config:Hw.Config.baseline entry;
-        with_l2 = obs ~config:Hw.Config.with_l2 entry;
-        with_bpred = obs ~config:Hw.Config.with_branch_predictor entry;
-        with_both = obs ~config:Hw.Config.with_l2_and_branch_predictor entry;
-      })
-    Kernel_model.entry_points
+  let obs ~config entry () = Response_time.observed ~runs ~config improved entry in
+  let cells =
+    batch
+      (List.concat_map
+         (fun entry ->
+           [
+             obs ~config:Hw.Config.baseline entry;
+             obs ~config:Hw.Config.with_l2 entry;
+             obs ~config:Hw.Config.with_branch_predictor entry;
+             obs ~config:Hw.Config.with_l2_and_branch_predictor entry;
+           ])
+         Kernel_model.entry_points)
+  in
+  List.map2
+    (fun entry -> function
+      | [ baseline; with_l2; with_bpred; with_both ] ->
+          { f9_entry = entry; baseline; with_l2; with_bpred; with_both }
+      | _ -> assert false)
+    Kernel_model.entry_points (chunks 4 cells)
 
 let print_fig9 rows =
   Fmt.pr "@.Figure 9: observed worst cases, normalised to the baseline@.";
@@ -182,7 +251,7 @@ let print_fig9 rows =
 type fig7_row = { depth : int; syscall_cycles : int }
 
 let fig7 ?(runs = 8) () =
-  List.map
+  Parallel.map (Parallel.default ())
     (fun depth ->
       (* Shallow spaces cannot host the full complement of extra caps. *)
       let params =
@@ -305,13 +374,15 @@ type analysis_cost_row = {
 
 let analysis_cost () =
   let config = Hw.Config.default in
-  List.map
+  Parallel.map (Parallel.default ())
     (fun entry ->
-      let spec = Kernel_model.spec improved entry in
+      (* Constrained first: its solution is feasible for (and warm-starts)
+         the unconstrained relaxation, and both share the cached analysis
+         prefix. *)
+      let constrained = Analysis_cache.computed ~config improved entry in
       let unconstrained =
-        Wcet.Ipet.analyse ~config { spec with Wcet.Ipet.constraints = [] }
+        Analysis_cache.computed ~use_constraints:false ~config improved entry
       in
-      let constrained = Wcet.Ipet.analyse ~config spec in
       {
         ac_entry = entry;
         ilp_vars = constrained.Wcet.Ipet.ilp_vars;
@@ -518,21 +589,28 @@ let summary () =
     (K.Ev_call { ep = 10; badge_hint = 0; msg_len = 2; extra_caps = [] });
   let fastpath_cycles = K.cycles env.B.k - before in
   let config = Hw.Config.default in
-  let before_syscall =
-    Response_time.computed_cycles ~config original Kernel_model.Syscall
-  in
-  let after_syscall =
-    Response_time.computed_cycles ~config improved Kernel_model.Syscall
-  in
-  {
-    fastpath_cycles;
-    syscall_factor = float_of_int before_syscall /. float_of_int after_syscall;
-    response_l2_off_us =
-      us config (Response_time.interrupt_response_bound ~config improved);
-    response_l2_on_us =
-      us Hw.Config.with_l2
-        (Response_time.interrupt_response_bound ~config:Hw.Config.with_l2 improved);
-  }
+  match
+    batch
+      [
+        (fun () ->
+          Response_time.computed_cycles ~config original Kernel_model.Syscall);
+        (fun () ->
+          Response_time.computed_cycles ~config improved Kernel_model.Syscall);
+        (fun () -> Response_time.interrupt_response_bound ~config improved);
+        (fun () ->
+          Response_time.interrupt_response_bound ~config:Hw.Config.with_l2
+            improved);
+      ]
+  with
+  | [ before_syscall; after_syscall; response_off; response_on ] ->
+      {
+        fastpath_cycles;
+        syscall_factor =
+          float_of_int before_syscall /. float_of_int after_syscall;
+        response_l2_off_us = us config response_off;
+        response_l2_on_us = us Hw.Config.with_l2 response_on;
+      }
+  | _ -> assert false
 
 let print_summary s =
   Fmt.pr "@.Headline results (Section 6)@.";

@@ -1,0 +1,186 @@
+(* Fixed-size OCaml 5 Domain worker pool (stdlib only — domainslib is not
+   available in this environment).
+
+   The analysis engine fans (entry point x hardware configuration x build)
+   jobs out across domains: every job is a pure function of its inputs (the
+   simulator and the WCET pipeline allocate all their state per call), so
+   parallel evaluation is deterministic and [map]/[run_all] return results
+   in submission order, exactly as the serial path would.
+
+   Design notes:
+   - Work is submitted as a *batch*; the submitting domain participates in
+     draining its own batch, so a batch can never deadlock waiting for busy
+     workers, and nested [map] calls from worker domains simply degrade to
+     serial execution (checked via a domain-local flag).
+   - Exceptions inside jobs are caught per-job; the first one is re-raised
+     in the submitter after the whole batch has drained, so the pool is
+     never left with orphaned jobs.
+   - The pool is sized once (SEL4RT_DOMAINS overrides the default of
+     [recommended_domain_count - 1], capped at 8) and shared process-wide
+     via [default]; [set_serial true] forces every map onto the calling
+     domain, which benchmarks use to measure the serial baseline. *)
+
+type batch = {
+  count : int;
+  run : int -> unit;  (* run job [i]; must not raise *)
+  next : int Atomic.t;  (* next job index to claim *)
+  remaining : int Atomic.t;  (* jobs not yet finished *)
+}
+
+type t = {
+  lock : Mutex.t;
+  work : Condition.t;  (* workers: a batch was submitted / shutdown *)
+  finished : Condition.t;  (* submitters: some batch drained *)
+  mutable batches : batch list;
+  mutable stop : bool;
+  mutable workers : unit Domain.t list;
+  size : int;  (* worker domains; the submitter adds one more *)
+}
+
+let in_worker : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
+
+let serial_override = Atomic.make false
+
+let set_serial b = Atomic.set serial_override b
+
+(* Claim and run jobs from [b] until it is exhausted.  Called both by
+   workers and by the submitting domain. *)
+let help pool b =
+  let rec loop () =
+    let i = Atomic.fetch_and_add b.next 1 in
+    if i < b.count then begin
+      b.run i;
+      if Atomic.fetch_and_add b.remaining (-1) = 1 then begin
+        (* Last job of the batch: wake any submitter waiting on it. *)
+        Mutex.lock pool.lock;
+        Condition.broadcast pool.finished;
+        Mutex.unlock pool.lock
+      end;
+      loop ()
+    end
+  in
+  loop ()
+
+let worker pool () =
+  Domain.DLS.set in_worker true;
+  let rec next_batch () =
+    Mutex.lock pool.lock;
+    let rec wait () =
+      if pool.stop then begin
+        Mutex.unlock pool.lock;
+        None
+      end
+      else begin
+        (* Drop exhausted batches; their submitters hold their results. *)
+        pool.batches <-
+          List.filter (fun b -> Atomic.get b.next < b.count) pool.batches;
+        match pool.batches with
+        | b :: _ ->
+            Mutex.unlock pool.lock;
+            Some b
+        | [] ->
+            Condition.wait pool.work pool.lock;
+            wait ()
+      end
+    in
+    match wait () with
+    | None -> ()
+    | Some b ->
+        help pool b;
+        next_batch ()
+  in
+  next_batch ()
+
+let create ?domains () =
+  let size =
+    match domains with
+    | Some n -> max 0 (n - 1)  (* the submitter is one of the [n] *)
+    | None -> (
+        match Sys.getenv_opt "SEL4RT_DOMAINS" with
+        | Some s -> (
+            match int_of_string_opt (String.trim s) with
+            | Some n when n >= 1 -> n - 1
+            | _ -> invalid_arg "SEL4RT_DOMAINS must be a positive integer")
+        | None -> max 0 (min 8 (Domain.recommended_domain_count ()) - 1))
+  in
+  let pool =
+    {
+      lock = Mutex.create ();
+      work = Condition.create ();
+      finished = Condition.create ();
+      batches = [];
+      stop = false;
+      workers = [];
+      size;
+    }
+  in
+  pool.workers <- List.init size (fun _ -> Domain.spawn (worker pool));
+  pool
+
+let size pool = pool.size + 1
+
+let shutdown pool =
+  Mutex.lock pool.lock;
+  pool.stop <- true;
+  Condition.broadcast pool.work;
+  Mutex.unlock pool.lock;
+  List.iter Domain.join pool.workers;
+  pool.workers <- []
+
+(* The process-wide pool, created on first use.  Guarded by a mutex rather
+   than [lazy] because [Lazy.force] is not safe under domain races. *)
+let default_lock = Mutex.create ()
+let default_pool = ref None
+
+let default () =
+  Mutex.lock default_lock;
+  let pool =
+    match !default_pool with
+    | Some p -> p
+    | None ->
+        let p = create () in
+        default_pool := Some p;
+        p
+  in
+  Mutex.unlock default_lock;
+  pool
+
+let map pool f xs =
+  let arr = Array.of_list xs in
+  let n = Array.length arr in
+  if
+    n <= 1 || pool.size = 0
+    || Atomic.get serial_override
+    || Domain.DLS.get in_worker
+  then List.map f xs
+  else begin
+    let results = Array.make n None in
+    let error = Atomic.make None in
+    let run i =
+      match f arr.(i) with
+      | r -> results.(i) <- Some r
+      | exception e ->
+          let bt = Printexc.get_raw_backtrace () in
+          ignore (Atomic.compare_and_set error None (Some (e, bt)))
+    in
+    let b =
+      { count = n; run; next = Atomic.make 0; remaining = Atomic.make n }
+    in
+    Mutex.lock pool.lock;
+    pool.batches <- pool.batches @ [ b ];
+    Condition.broadcast pool.work;
+    Mutex.unlock pool.lock;
+    help pool b;
+    Mutex.lock pool.lock;
+    while Atomic.get b.remaining > 0 do
+      Condition.wait pool.finished pool.lock
+    done;
+    Mutex.unlock pool.lock;
+    (match Atomic.get error with
+    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+    | None -> ());
+    Array.to_list
+      (Array.map (function Some r -> r | None -> assert false) results)
+  end
+
+let run_all pool thunks = map pool (fun f -> f ()) thunks

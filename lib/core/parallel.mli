@@ -1,0 +1,40 @@
+(** Fixed-size Domain worker pool for fanning analysis jobs out across
+    (entry point x hardware configuration x build) tuples.
+
+    Jobs must be pure functions of their inputs (every analysis and
+    simulator run in this repository allocates its state per call), which
+    makes parallel evaluation deterministic: [map] and [run_all] return
+    results in submission order, identical to the serial path.
+
+    The submitting domain participates in draining its own batch, so a
+    batch cannot deadlock behind busy workers; nested calls from worker
+    domains run serially.  Exceptions raised by jobs are re-raised in the
+    submitter once the batch has drained. *)
+
+type t
+
+val create : ?domains:int -> unit -> t
+(** A pool that runs jobs on [domains] domains in total (the submitter
+    counts as one; [domains - 1] workers are spawned).  Default: the
+    [SEL4RT_DOMAINS] environment variable, else
+    [min 8 (Domain.recommended_domain_count ())]. *)
+
+val default : unit -> t
+(** The shared process-wide pool, created on first use. *)
+
+val size : t -> int
+(** Number of domains that can run jobs concurrently (workers + submitter). *)
+
+val map : t -> ('a -> 'b) -> 'a list -> 'b list
+(** Order-preserving parallel map. *)
+
+val run_all : t -> (unit -> 'a) list -> 'a list
+(** Run a batch of thunks, returning results in submission order. *)
+
+val set_serial : bool -> unit
+(** Force every subsequent [map] onto the calling domain (used to measure
+    the serial baseline in benchmarks and determinism tests). *)
+
+val shutdown : t -> unit
+(** Stop and join the pool's workers.  Do not call on {!default}'s pool
+    while other domains may still submit. *)

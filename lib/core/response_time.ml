@@ -8,10 +8,13 @@ type pins = { code : int list; data : int list }
 
 let no_pins = { code = []; data = [] }
 
-let computed ?(params = Kernel_model.default_params) ?(pins = no_pins) ~config
-    build entry =
-  let spec = Kernel_model.spec ~params build entry in
-  Wcet.Ipet.analyse ~config ~pinned_code:pins.code ~pinned_data:pins.data spec
+(* All computed (IPET) quantities route through the analysis-engine cache:
+   identical (build, entry, config, pins, params, forced) tuples are
+   analysed once per process, whichever experiment asks first. *)
+
+let computed ?params ?(pins = no_pins) ~config build entry =
+  Analysis_cache.computed ?params ~pinned_code:pins.code ~pinned_data:pins.data
+    ~config build entry
 
 let computed_cycles ?params ?pins ~config build entry =
   (computed ?params ?pins ~config build entry).Wcet.Ipet.wcet
@@ -20,9 +23,8 @@ let computed_cycles ?params ?pins ~config build entry =
    constraints force analysis of the tested path). *)
 let computed_for_path ?(params = Kernel_model.default_params) ~config build
     entry =
-  let spec = Kernel_model.spec ~params build entry in
   let forced = Kernel_model.realisable_path ~params entry in
-  (Wcet.Ipet.analyse ~config ~forced spec).Wcet.Ipet.wcet
+  (Analysis_cache.computed ~params ~forced ~config build entry).Wcet.Ipet.wcet
 
 let observed ?runs ?params ~config build entry =
   Workloads.observed ?runs ?params ~config build entry

@@ -48,9 +48,28 @@ let set_objective t terms = t.objective <- terms
 
 let constraints t = List.rev t.constraints
 let num_constraints t = List.length t.constraints
+let objective t = t.objective
+
+(* Merge duplicate variables of a term list into a sparse row, keeping
+   first-occurrence order (deterministic) and dropping zero sums. *)
+let sparse_row terms =
+  let merged = Hashtbl.create 16 in
+  let order = ref [] in
+  List.iter
+    (fun (c, v) ->
+      match Hashtbl.find_opt merged v with
+      | None ->
+          order := v :: !order;
+          Hashtbl.add merged v c
+      | Some c0 -> Hashtbl.replace merged v (c0 + c))
+    terms;
+  List.rev !order
+  |> List.filter_map (fun v ->
+         let c = Hashtbl.find merged v in
+         if c = 0 then None else Some (v, Rat.of_int c))
 
 let to_lp ?(extra = []) t : Simplex.lp =
-  let row terms =
+  let dense terms =
     let coeffs = Array.make t.count Rat.zero in
     List.iter
       (fun (c, v) -> coeffs.(v) <- Rat.add coeffs.(v) (Rat.of_int c))
@@ -64,11 +83,11 @@ let to_lp ?(extra = []) t : Simplex.lp =
       | Ge -> Simplex.Ge
       | Eq -> Simplex.Eq
     in
-    (row terms, op, Rat.of_int bound)
+    (sparse_row terms, op, Rat.of_int bound)
   in
   {
     Simplex.num_vars = t.count;
-    maximize = row t.objective;
+    maximize = dense t.objective;
     constraints = List.rev_map convert t.constraints @ List.map convert extra;
   }
 

@@ -37,6 +37,9 @@ val set_objective : t -> (int * var) list -> unit
 val constraints : t -> cstr list
 val num_constraints : t -> int
 
+val objective : t -> (int * var) list
+(** The current objective terms, as passed to {!set_objective}. *)
+
 val to_lp : ?extra:cstr list -> t -> Simplex.lp
 (** Render for the simplex; [extra] constraints are appended (used by branch
     and bound and by path forcing). *)

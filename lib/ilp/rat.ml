@@ -45,15 +45,22 @@ let num t = t.num
 let den t = t.den
 
 let add a b =
-  let g = gcd a.den b.den in
-  let da = a.den / g and db = b.den / g in
-  let num = checked_add (checked_mul a.num db) (checked_mul b.num da) in
-  make num (checked_mul a.den db)
+  (* Integer fast path: the simplex tableaux this module serves stay
+     integral through most pivots, so skip the gcd machinery when both
+     operands have denominator 1 (the result is already normalised). *)
+  if a.den = 1 && b.den = 1 then { num = checked_add a.num b.num; den = 1 }
+  else
+    let g = gcd a.den b.den in
+    let da = a.den / g and db = b.den / g in
+    let num = checked_add (checked_mul a.num db) (checked_mul b.num da) in
+    make num (checked_mul a.den db)
 
 let neg a = { a with num = -a.num }
 let sub a b = add a (neg b)
 
 let mul a b =
+  if a.den = 1 && b.den = 1 then { num = checked_mul a.num b.num; den = 1 }
+  else
   (* Cross-cancel before multiplying to delay overflow. *)
   let g1 = gcd (abs a.num) b.den and g2 = gcd (abs b.num) a.den in
   let g1 = if g1 = 0 then 1 else g1 and g2 = if g2 = 0 then 1 else g2 in

@@ -1,12 +1,20 @@
-(* Two-phase dense simplex over exact rationals.
+(* Two-phase simplex over exact rationals with sparse constraint input.
 
    Standard textbook algorithm with Bland's anti-cycling rule:
-   - constraints are normalised to non-negative right-hand sides;
+   - constraints arrive as sparse (variable, coefficient) rows and are
+     normalised to non-negative right-hand sides;
    - Le constraints get a slack variable, Ge a surplus plus an artificial,
      Eq an artificial;
    - phase 1 maximises minus the sum of artificials; a negative optimum
      means the problem is infeasible;
-   - phase 2 maximises the user objective with artificial columns banned.
+   - phase 2 reuses the phase-1 tableau: the user objective is installed
+     and priced out in place, with artificial columns banned from entering.
+
+   IPET flow matrices are ~95 % zeros (each flow-conservation row touches a
+   handful of the hundreds of columns), so the tableau is built from sparse
+   rows and every pivot walks only the nonzero columns of the pivot row —
+   entries outside that support are unchanged by the row operation.  The
+   backing store stays a dense array per row because pivoting fills in.
 
    Exact rationals (with overflow detection) make the solver sound, which
    matters because its output is a claimed *upper bound* on execution time. *)
@@ -16,7 +24,8 @@ type op = Le | Ge | Eq
 type lp = {
   num_vars : int;
   maximize : Rat.t array;
-  constraints : (Rat.t array * op * Rat.t) list;
+  constraints : ((int * Rat.t) list * op * Rat.t) list;
+      (* sparse rows: (variable index, nonzero coefficient) pairs *)
 }
 
 type solution = { objective : Rat.t; values : Rat.t array }
@@ -30,22 +39,45 @@ type tableau = {
   mutable objective : Rat.t;
   cols : int;
   art_first : int;  (* first artificial column; cols if none *)
+  nz_scratch : int array;  (* reusable buffer for pivot-row nonzeros *)
 }
+
+exception Infeasible_exn
 
 let pivot t ~row ~col =
   let piv = t.rows.(row).(col) in
   assert (Rat.sign piv > 0);
-  let inv = Rat.inv piv in
   let r = t.rows.(row) in
-  for j = 0 to t.cols - 1 do
-    r.(j) <- Rat.mul r.(j) inv
-  done;
-  t.rhs.(row) <- Rat.mul t.rhs.(row) inv;
+  (* Collect the nonzero support of the pivot row once; every update below
+     only touches these columns (zero pivot-row entries leave the other
+     rows untouched). *)
+  let nnz = ref 0 in
+  if Rat.equal piv Rat.one then begin
+    for j = 0 to t.cols - 1 do
+      if not (Rat.is_zero r.(j)) then begin
+        t.nz_scratch.(!nnz) <- j;
+        incr nnz
+      end
+    done
+  end
+  else begin
+    let inv = Rat.inv piv in
+    for j = 0 to t.cols - 1 do
+      if not (Rat.is_zero r.(j)) then begin
+        r.(j) <- Rat.mul r.(j) inv;
+        t.nz_scratch.(!nnz) <- j;
+        incr nnz
+      end
+    done;
+    t.rhs.(row) <- Rat.mul t.rhs.(row) inv
+  end;
+  let nnz = !nnz in
   let eliminate coeffs =
     let factor = coeffs.(col) in
     if Rat.is_zero factor then Rat.zero
     else begin
-      for j = 0 to t.cols - 1 do
+      for k = 0 to nnz - 1 do
+        let j = t.nz_scratch.(k) in
         coeffs.(j) <- Rat.sub coeffs.(j) (Rat.mul factor r.(j))
       done;
       Rat.mul factor t.rhs.(row)
@@ -53,7 +85,9 @@ let pivot t ~row ~col =
   in
   Array.iteri
     (fun i coeffs ->
-      if i <> row then t.rhs.(i) <- Rat.sub t.rhs.(i) (eliminate coeffs))
+      if i <> row then
+        let delta = eliminate coeffs in
+        if not (Rat.is_zero delta) then t.rhs.(i) <- Rat.sub t.rhs.(i) delta)
     t.rows;
   (* The cost row represents z = objective + sum cbar_j x_j, so its constant
      moves with the opposite sign from the constraint rows. *)
@@ -108,14 +142,12 @@ let solve lp =
   (* Normalise to non-negative rhs and count extra columns. *)
   let normalised =
     List.map
-      (fun (coeffs, op, rhs) ->
-        assert (Array.length coeffs = lp.num_vars);
+      (fun (terms, op, rhs) ->
+        List.iter (fun (v, _) -> assert (v >= 0 && v < lp.num_vars)) terms;
         if Rat.sign rhs < 0 then
-          let flipped =
-            match op with Le -> Ge | Ge -> Le | Eq -> Eq
-          in
-          (Array.map Rat.neg coeffs, flipped, Rat.neg rhs)
-        else (Array.map Fun.id coeffs, op, rhs))
+          let flipped = match op with Le -> Ge | Ge -> Le | Eq -> Eq in
+          (List.map (fun (v, c) -> (v, Rat.neg c)) terms, flipped, Rat.neg rhs)
+        else (terms, op, rhs))
       lp.constraints
   in
   let n_slack =
@@ -132,10 +164,12 @@ let solve lp =
   let next_slack = ref lp.num_vars in
   let next_art = ref art_first in
   List.iteri
-    (fun i (coeffs, op, b) ->
-      Array.blit coeffs 0 rows.(i) 0 lp.num_vars;
+    (fun i (terms, op, b) ->
+      List.iter
+        (fun (v, c) -> rows.(i).(v) <- Rat.add rows.(i).(v) c)
+        terms;
       rhs.(i) <- b;
-      (match op with
+      match op with
       | Le ->
           rows.(i).(!next_slack) <- Rat.one;
           basis.(i) <- !next_slack;
@@ -149,20 +183,20 @@ let solve lp =
       | Eq ->
           rows.(i).(!next_art) <- Rat.one;
           basis.(i) <- !next_art;
-          incr next_art);
-      ())
+          incr next_art)
     normalised;
   let t =
     { rows; rhs; basis; cost = Array.make cols Rat.zero; objective = Rat.zero;
-      cols; art_first }
+      cols; art_first; nz_scratch = Array.make cols 0 }
   in
   (* Phase 1: maximise -(sum of artificials).  With artificials basic, the
      reduced costs are the column sums over the artificial rows. *)
   if n_art > 0 then begin
     for i = 0 to m - 1 do
       if basis.(i) >= art_first then begin
-        for j = 0 to cols - 1 do
-          if j < art_first then t.cost.(j) <- Rat.add t.cost.(j) rows.(i).(j)
+        for j = 0 to art_first - 1 do
+          if not (Rat.is_zero rows.(i).(j)) then
+            t.cost.(j) <- Rat.add t.cost.(j) rows.(i).(j)
         done;
         t.objective <- Rat.sub t.objective rhs.(i)
       end
@@ -170,7 +204,7 @@ let solve lp =
     match iterate t ~allowed:(fun j -> j < art_first) with
     | `Unbounded -> assert false (* phase-1 objective is bounded above by 0 *)
     | `Optimal ->
-        if Rat.sign t.objective < 0 then raise Exit
+        if Rat.sign t.objective < 0 then raise Infeasible_exn
   end;
   (* Drive any artificial still in the basis (at value 0) out, or mark its
      row redundant by zeroing it. *)
@@ -202,7 +236,8 @@ let solve lp =
       end
     end
   done;
-  (* Phase 2: install the user objective and price out basic columns. *)
+  (* Phase 2 reuses the phase-1 tableau: install the user objective and
+     price out basic columns in place. *)
   Array.fill t.cost 0 cols Rat.zero;
   t.objective <- Rat.zero;
   Array.blit lp.maximize 0 t.cost 0 lp.num_vars;
@@ -211,8 +246,10 @@ let solve lp =
     if b < lp.num_vars then begin
       let c = lp.maximize.(b) in
       if not (Rat.is_zero c) then begin
+        let r = t.rows.(i) in
         for j = 0 to cols - 1 do
-          t.cost.(j) <- Rat.sub t.cost.(j) (Rat.mul c t.rows.(i).(j))
+          if not (Rat.is_zero r.(j)) then
+            t.cost.(j) <- Rat.sub t.cost.(j) (Rat.mul c r.(j))
         done;
         t.objective <- Rat.add t.objective (Rat.mul c t.rhs.(i))
       end
@@ -227,7 +264,7 @@ let solve lp =
       done;
       Optimal { objective = t.objective; values }
 
-let solve lp = try solve lp with Exit -> Infeasible
+let solve lp = try solve lp with Infeasible_exn -> Infeasible
 
 let pp_result ppf = function
   | Infeasible -> Fmt.string ppf "infeasible"

@@ -1,7 +1,10 @@
-(** Two-phase dense simplex over exact rationals, with Bland's rule.
+(** Two-phase simplex over exact rationals with Bland's rule and sparse
+    constraint rows.
 
-    Solves [max c.x  s.t.  A x {<=,>=,=} b,  x >= 0].  Exactness matters
-    because the solver's output is used as a claimed sound upper bound on
+    Solves [max c.x  s.t.  A x {<=,>=,=} b,  x >= 0].  Constraints are
+    given sparsely — IPET flow matrices are ~95 % zeros — and pivots only
+    walk the nonzero support of the pivot row.  Exactness matters because
+    the solver's output is used as a claimed sound upper bound on
     worst-case execution time. *)
 
 type op = Le | Ge | Eq
@@ -9,7 +12,9 @@ type op = Le | Ge | Eq
 type lp = {
   num_vars : int;
   maximize : Rat.t array;  (** objective coefficients, length [num_vars] *)
-  constraints : (Rat.t array * op * Rat.t) list;
+  constraints : ((int * Rat.t) list * op * Rat.t) list;
+      (** sparse rows: (variable index, coefficient) pairs; indices must be
+          in [0, num_vars); duplicate indices are summed *)
 }
 
 type solution = { objective : Rat.t; values : Rat.t array }

@@ -11,7 +11,14 @@
      the flow out of b, with one unit of virtual flow entering at the entry
      block and leaving at the exits), loop bounds relating header counts to
      the flow entering the loop, and the manual constraint forms of
-     {!User_constraint}. *)
+     {!User_constraint}.
+
+   The pipeline is split in two so the expensive prefix — virtual inlining,
+   loop detection and the cache-analysis fixpoint, which depend only on the
+   program, hardware configuration and pinned lines — is computed once
+   ({!prepare}) and shared across every ILP variant run over it
+   ({!analyse_prepared}): with and without the manual constraints, and with
+   any set of forced path counts (Section 6.2). *)
 
 type loop_bound = { func : string; header : string; bound : int }
 
@@ -31,6 +38,7 @@ type result = {
   bb_nodes : int;
   lp_solves : int;
   elapsed_s : float;
+  ilp_solution : int array;
 }
 
 exception Unbounded_loop of string
@@ -41,35 +49,90 @@ let source_label program (origin : Cfg.Inline.origin) =
   let fn = Cfg.Flowgraph.find_fn program origin.Cfg.Inline.func in
   (Cfg.Flowgraph.block fn origin.Cfg.Inline.orig_id).Cfg.Flowgraph.label
 
-(* Instance ids of the block labelled [label] in [func], grouped with the
-   instance ids of that instance's entry block, per calling context. *)
-let instances_by_context inlined program ~func =
-  let by_ctx = Hashtbl.create 8 in
+(* Instance ids of every block of every function, grouped by source
+   function and calling context: each entry is
+   (context, [(inlined id, source label, is function entry)]) sorted by
+   context.  One pass over the origin table covers all functions; the
+   result is immutable and shared by every analysis over this prefix. *)
+let compute_contexts inlined program =
+  let by_func : (string, (string, (int * string * bool) list) Hashtbl.t) Hashtbl.t =
+    Hashtbl.create 16
+  in
   Array.iteri
     (fun id (o : Cfg.Inline.origin) ->
-      if o.Cfg.Inline.func = func then begin
-        let label = source_label program o in
-        let entry =
-          (Cfg.Flowgraph.find_fn program func).Cfg.Flowgraph.entry
-          = o.Cfg.Inline.orig_id
-        in
-        let prev =
-          try Hashtbl.find by_ctx o.Cfg.Inline.context with Not_found -> []
-        in
-        Hashtbl.replace by_ctx o.Cfg.Inline.context ((id, label, entry) :: prev)
-      end)
+      let label = source_label program o in
+      let entry =
+        (Cfg.Flowgraph.find_fn program o.Cfg.Inline.func).Cfg.Flowgraph.entry
+        = o.Cfg.Inline.orig_id
+      in
+      let by_ctx =
+        match Hashtbl.find_opt by_func o.Cfg.Inline.func with
+        | Some h -> h
+        | None ->
+            let h = Hashtbl.create 8 in
+            Hashtbl.add by_func o.Cfg.Inline.func h;
+            h
+      in
+      let prev =
+        try Hashtbl.find by_ctx o.Cfg.Inline.context with Not_found -> []
+      in
+      Hashtbl.replace by_ctx o.Cfg.Inline.context ((id, label, entry) :: prev))
     inlined.Cfg.Inline.origins;
-  Hashtbl.fold (fun ctx blocks acc -> (ctx, blocks) :: acc) by_ctx []
-  |> List.sort compare
+  let table = Hashtbl.create 16 in
+  Hashtbl.iter
+    (fun func by_ctx ->
+      Hashtbl.replace table func
+        (Hashtbl.fold (fun ctx blocks acc -> (ctx, blocks) :: acc) by_ctx []
+        |> List.sort compare))
+    by_func;
+  table
 
-let analyse ~config ?(pinned_code = []) ?(pinned_data = [])
-    ?(forced = ([] : (string * string * int) list)) (spec : spec) =
-  let started = Sys.time () in
+type prepared = {
+  spec : spec;
+  config : Hw.Config.t;
+  pinned_code : int list;
+  pinned_data : int list;
+  inlined : Timing.t Cfg.Inline.t;
+  costs : Cache_analysis.t;
+  loops : Cfg.Loops.t;
+  preds : int list array;
+  contexts : (string, (string * (int * string * bool) list) list) Hashtbl.t;
+      (* read-only after [prepare]; safe to share across domains *)
+  prep_elapsed_s : float;
+}
+
+let prepare ~config ?(pinned_code = []) ?(pinned_data = []) (spec : spec) =
+  let started = Clock.now_s () in
   let inlined = Cfg.Inline.inline spec.program in
   let fn = inlined.Cfg.Inline.fn in
-  let n = Cfg.Flowgraph.num_blocks fn in
   let costs = Cache_analysis.analyse ~config ~pinned_code ~pinned_data fn in
   let loops = Cfg.Loops.compute fn in
+  let preds = Cfg.Flowgraph.preds fn in
+  let contexts = compute_contexts inlined spec.program in
+  {
+    spec;
+    config;
+    pinned_code;
+    pinned_data;
+    inlined;
+    costs;
+    loops;
+    preds;
+    contexts;
+    prep_elapsed_s = Clock.elapsed_s ~since:started;
+  }
+
+let analyse_prepared ?(use_constraints = true)
+    ?(forced = ([] : (string * string * int) list)) ?warm_start (p : prepared) =
+  let started = Clock.now_s () in
+  let spec = p.spec in
+  let inlined = p.inlined in
+  let fn = inlined.Cfg.Inline.fn in
+  let n = Cfg.Flowgraph.num_blocks fn in
+  let costs = p.costs in
+  let instances_of func =
+    match Hashtbl.find_opt p.contexts func with Some l -> l | None -> []
+  in
   let problem = Ilp.Problem.create () in
   let x = Array.init n (fun b -> Ilp.Problem.var problem (Fmt.str "x%d" b)) in
   (* Edge variables, plus virtual entry/exit edges. *)
@@ -95,12 +158,12 @@ let analyse ~config ?(pinned_code = []) ?(pinned_data = [])
   Ilp.Problem.add_eq ~label:"one exit" problem
     (List.map (fun (_, v) -> (1, v)) exit_vars)
     1;
-  let preds = Cfg.Flowgraph.preds fn in
+  let preds = p.preds in
   Array.iter
     (fun (b : Timing.t Cfg.Flowgraph.block) ->
       let id = b.Cfg.Flowgraph.id in
       let inflow =
-        List.map (fun p -> (1, edge_var (p, id))) preds.(id)
+        List.map (fun pr -> (1, edge_var (pr, id))) preds.(id)
         @ if id = fn.Cfg.Flowgraph.entry then [ (1, entry_var) ] else []
       in
       let outflow =
@@ -149,7 +212,7 @@ let analyse ~config ?(pinned_code = []) ?(pinned_data = [])
         ((1, x.(l.Cfg.Loops.header))
         :: List.map (fun e -> (-bound, edge_var e)) entering)
         0)
-    (Cfg.Loops.loops loops);
+    (Cfg.Loops.loops p.loops);
   (* User constraints, one per calling context (Section 5.2). *)
   let find_in_ctx blocks label =
     List.filter_map (fun (id, l, _) -> if l = label then Some id else None) blocks
@@ -157,6 +220,7 @@ let analyse ~config ?(pinned_code = []) ?(pinned_data = [])
   let entry_of_ctx blocks =
     List.filter_map (fun (id, _, is_entry) -> if is_entry then Some id else None) blocks
   in
+  let constraints = if use_constraints then spec.constraints else [] in
   List.iter
     (fun c ->
       match c with
@@ -173,7 +237,7 @@ let analyse ~config ?(pinned_code = []) ?(pinned_data = [])
                   (List.map (fun id -> (1, x.(id))) (xa @ xb)
                   @ List.map (fun id -> (-1, x.(id))) entry)
                   0)
-            (instances_by_context inlined spec.program ~func)
+            (instances_of func)
       | User_constraint.Consistent_with { func; a; b } ->
           List.iter
             (fun (_ctx, blocks) ->
@@ -185,12 +249,12 @@ let analyse ~config ?(pinned_code = []) ?(pinned_data = [])
                   (List.map (fun id -> (1, x.(id))) xa
                   @ List.map (fun id -> (-1, x.(id))) xb)
                   0)
-            (instances_by_context inlined spec.program ~func)
+            (instances_of func)
       | User_constraint.Executes_at_most { func; block; times } ->
           let all =
             List.concat_map
               (fun (_ctx, blocks) -> find_in_ctx blocks block)
-              (instances_by_context inlined spec.program ~func)
+              (instances_of func)
           in
           if all <> [] then
             Ilp.Problem.add_le
@@ -198,7 +262,7 @@ let analyse ~config ?(pinned_code = []) ?(pinned_data = [])
               problem
               (List.map (fun id -> (1, x.(id))) all)
               times)
-    spec.constraints;
+    constraints;
   (* Forced path counts (Section 6.2: computing the execution time of a
      specific realisable path by adding constraints to the ILP). *)
   List.iter
@@ -206,7 +270,7 @@ let analyse ~config ?(pinned_code = []) ?(pinned_data = [])
       let all =
         List.concat_map
           (fun (_ctx, blocks) -> find_in_ctx blocks label)
-          (instances_by_context inlined spec.program ~func)
+          (instances_of func)
       in
       if all <> [] then
         Ilp.Problem.add_eq
@@ -219,7 +283,7 @@ let analyse ~config ?(pinned_code = []) ?(pinned_data = [])
     (Array.to_list
        (Array.mapi (fun b v -> ((Cache_analysis.cost costs b).cycles, v)) x));
   let stats = { Ilp.Branch_bound.nodes = 0; lp_solves = 0 } in
-  match Ilp.Branch_bound.solve ~stats problem with
+  match Ilp.Branch_bound.solve ?warm_start ~stats problem with
   | Ilp.Branch_bound.Optimal { objective; values } ->
       {
         wcet = objective;
@@ -230,14 +294,19 @@ let analyse ~config ?(pinned_code = []) ?(pinned_data = [])
         ilp_constraints = Ilp.Problem.num_constraints problem;
         bb_nodes = stats.Ilp.Branch_bound.nodes;
         lp_solves = stats.Ilp.Branch_bound.lp_solves;
-        elapsed_s = Sys.time () -. started;
+        elapsed_s = p.prep_elapsed_s +. Clock.elapsed_s ~since:started;
+        ilp_solution = values;
       }
   | Ilp.Branch_bound.Infeasible -> raise (No_solution "ILP infeasible")
   | Ilp.Branch_bound.Unbounded -> raise (No_solution "ILP unbounded")
 
+let analyse ~config ?(pinned_code = []) ?(pinned_data = [])
+    ?(forced = ([] : (string * string * int) list)) (spec : spec) =
+  analyse_prepared ~forced (prepare ~config ~pinned_code ~pinned_data spec)
+
 (* Render the worst-case path as (label, count, per-visit cycles) rows for
    blocks on the path, in block order. *)
-let worst_path result =
+let worst_path (result : result) =
   let fn = result.inlined.Cfg.Inline.fn in
   Array.to_list fn.Cfg.Flowgraph.blocks
   |> List.filter_map (fun (b : Timing.t Cfg.Flowgraph.block) ->

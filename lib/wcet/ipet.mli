@@ -1,5 +1,10 @@
 (** Implicit Path Enumeration Technique: virtual inlining, cache analysis,
-    ILP generation and solving, as in Section 5.2 of the paper. *)
+    ILP generation and solving, as in Section 5.2 of the paper.
+
+    The pipeline is split so the expensive analysis prefix (inlining, loop
+    detection, cache fixpoint) can be {!prepare}d once per (program,
+    hardware configuration, pinned lines) and shared by every ILP variant
+    solved over it via {!analyse_prepared}. *)
 
 type loop_bound = { func : string; header : string; bound : int }
 (** Maximum executions of the header block per entry into the loop. *)
@@ -20,6 +25,12 @@ type result = {
   bb_nodes : int;
   lp_solves : int;
   elapsed_s : float;
+      (** monotonic wall time of this analysis (prefix + ILP), as if run
+          fresh; prefix time is included even when the prefix was shared *)
+  ilp_solution : int array;
+      (** the full optimal assignment over every ILP variable (blocks and
+          edges, in creation order) — a valid warm start for any *less*
+          constrained variant of the same problem *)
 }
 
 exception Unbounded_loop of string
@@ -28,6 +39,33 @@ exception Unbounded_loop of string
 
 exception No_solution of string
 
+type prepared
+(** The analysis prefix: inlined CFG, cache-analysis costs, loops,
+    predecessors and the per-function context table.  Immutable once
+    built; safe to share across domains. *)
+
+val prepare :
+  config:Hw.Config.t ->
+  ?pinned_code:int list ->
+  ?pinned_data:int list ->
+  spec ->
+  prepared
+
+val analyse_prepared :
+  ?use_constraints:bool ->
+  ?forced:(string * string * int) list ->
+  ?warm_start:int array ->
+  prepared ->
+  result
+(** Build and solve one ILP over a shared prefix.  [use_constraints:false]
+    drops the manual constraints of the spec (the Section 6.3
+    unconstrained baseline).  [forced] pins total execution counts of
+    (function, block label) pairs, which is how Section 6.2 computes the
+    predicted time of a specific realisable path.  [warm_start] seeds
+    branch-and-bound with a candidate solution (see
+    {!Ilp.Branch_bound.solve}); the [ilp_solution] of a more constrained
+    variant of the same prepared problem is always safe. *)
+
 val analyse :
   config:Hw.Config.t ->
   ?pinned_code:int list ->
@@ -35,9 +73,7 @@ val analyse :
   ?forced:(string * string * int) list ->
   spec ->
   result
-(** Compute the WCET bound.  [forced] pins total execution counts of
-    (function, block label) pairs, which is how Section 6.2 computes the
-    predicted time of a specific realisable path. *)
+(** [prepare] + [analyse_prepared] in one step. *)
 
 val worst_path : result -> (string * int * int) list
 (** Blocks on the worst-case path: (inlined label, count, cycles/visit). *)

@@ -1,0 +1,190 @@
+(* Tests of the analysis engine itself: the memo cache must be invisible
+   (cached results identical to fresh ones), and the domain pool must be
+   deterministic (batch results identical to the serial path, run after
+   run), per the correctness claims in DESIGN.md's engine section. *)
+
+module KM = Sel4_rt.Kernel_model
+module AC = Sel4_rt.Analysis_cache
+module P = Sel4_rt.Parallel
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_int_list = Alcotest.(check (list int))
+
+let builds = [ ("improved", Sel4.Build.improved); ("original", Sel4.Build.original) ]
+let configs = [ ("L2 off", Hw.Config.default); ("L2 on", Hw.Config.with_l2) ]
+
+let fresh ~config build entry =
+  Wcet.Ipet.analyse ~config (KM.spec build entry)
+
+(* Every observable field of the result except the timing must be
+   identical whether it came from the cache or a from-scratch pipeline
+   run. *)
+let same_result label (a : Wcet.Ipet.result) (b : Wcet.Ipet.result) =
+  check_int (label ^ ": wcet") a.Wcet.Ipet.wcet b.Wcet.Ipet.wcet;
+  check_int_list
+    (label ^ ": block_counts")
+    (Array.to_list a.Wcet.Ipet.block_counts)
+    (Array.to_list b.Wcet.Ipet.block_counts);
+  check_int_list
+    (label ^ ": ilp_solution")
+    (Array.to_list a.Wcet.Ipet.ilp_solution)
+    (Array.to_list b.Wcet.Ipet.ilp_solution);
+  check_int (label ^ ": ilp_vars") a.Wcet.Ipet.ilp_vars b.Wcet.Ipet.ilp_vars;
+  check_int
+    (label ^ ": ilp_constraints")
+    a.Wcet.Ipet.ilp_constraints b.Wcet.Ipet.ilp_constraints;
+  check_int (label ^ ": bb_nodes") a.Wcet.Ipet.bb_nodes b.Wcet.Ipet.bb_nodes;
+  check_int (label ^ ": lp_solves") a.Wcet.Ipet.lp_solves b.Wcet.Ipet.lp_solves
+
+(* --- cache transparency: cached == fresh for every entry x build --- *)
+
+let test_cached_equals_fresh () =
+  AC.reset ();
+  List.iter
+    (fun (bname, build) ->
+      List.iter
+        (fun entry ->
+          let config = Hw.Config.default in
+          let label = Fmt.str "%s/%s" bname (KM.entry_name entry) in
+          let cached = AC.computed ~config build entry in
+          let cached_again = AC.computed ~config build entry in
+          same_result label cached (fresh ~config build entry);
+          same_result (label ^ " (second lookup)") cached cached_again)
+        KM.entry_points)
+    builds
+
+let test_cache_counts_hits () =
+  AC.reset ();
+  let config = Hw.Config.with_l2 in
+  let s0 = AC.stats () in
+  check_int "counters start at zero" 0 (s0.AC.hits + s0.AC.misses);
+  ignore (AC.computed ~config Sel4.Build.improved KM.Interrupt);
+  ignore (AC.computed ~config Sel4.Build.improved KM.Interrupt);
+  ignore (AC.computed ~config Sel4.Build.improved KM.Interrupt);
+  let s = AC.stats () in
+  check_int "one miss" 1 s.AC.misses;
+  check_int "two hits" 2 s.AC.hits;
+  check_bool "hit rate" true (abs_float (AC.hit_rate s -. (2.0 /. 3.0)) < 1e-9);
+  AC.reset ();
+  let s = AC.stats () in
+  check_int "reset zeroes counters" 0 (s.AC.hits + s.AC.misses)
+
+let test_variants_share_prefix () =
+  AC.reset ();
+  let config = Hw.Config.default in
+  ignore (AC.computed ~config Sel4.Build.improved KM.Syscall);
+  ignore (AC.computed ~use_constraints:false ~config Sel4.Build.improved KM.Syscall);
+  let forced = KM.realisable_path ~params:KM.default_params KM.Syscall in
+  ignore (AC.computed ~forced ~config Sel4.Build.improved KM.Syscall);
+  let s = AC.stats () in
+  check_int "three distinct ILP variants" 3 s.AC.misses;
+  (* All three share one prepared prefix: one prefix miss, two prefix hits. *)
+  check_int "one prefix computation" 1 s.AC.prefix_misses;
+  check_int "prefix shared by the other variants" 2 s.AC.prefix_hits
+
+let test_disabled_cache_bypasses_tables () =
+  AC.reset ();
+  AC.set_enabled false;
+  Fun.protect ~finally:(fun () -> AC.set_enabled true) @@ fun () ->
+  let config = Hw.Config.default in
+  let r = AC.computed ~config Sel4.Build.improved KM.Interrupt in
+  same_result "disabled" r (fresh ~config Sel4.Build.improved KM.Interrupt);
+  let s = AC.stats () in
+  check_int "no lookups recorded" 0 (s.AC.hits + s.AC.misses)
+
+(* --- warm-starting cannot change the optimum --- *)
+
+let test_warm_start_same_optimum () =
+  AC.reset ();
+  let config = Hw.Config.default in
+  (* Constrained first so the unconstrained solve takes the warm start. *)
+  let constrained = AC.computed ~config Sel4.Build.improved KM.Syscall in
+  let warm = AC.computed ~use_constraints:false ~config Sel4.Build.improved KM.Syscall in
+  AC.reset ();
+  (* Cold: unconstrained without a cached constrained sibling. *)
+  let cold = AC.computed ~use_constraints:false ~config Sel4.Build.improved KM.Syscall in
+  check_int "warm-started optimum" cold.Wcet.Ipet.wcet warm.Wcet.Ipet.wcet;
+  check_bool "relaxation dominates" true
+    (warm.Wcet.Ipet.wcet >= constrained.Wcet.Ipet.wcet)
+
+(* --- parallel pool: determinism, ordering, exceptions --- *)
+
+let test_pool_map_matches_serial () =
+  let pool = P.create ~domains:4 () in
+  Fun.protect ~finally:(fun () -> P.shutdown pool) @@ fun () ->
+  let inputs = List.init 100 (fun i -> i) in
+  let f x = (x * x) + 1 in
+  check_int_list "order-preserving map" (List.map f inputs) (P.map pool f inputs)
+
+let test_pool_exception_propagates () =
+  let pool = P.create ~domains:3 () in
+  Fun.protect ~finally:(fun () -> P.shutdown pool) @@ fun () ->
+  check_bool "job exception reaches submitter" true
+    (try
+       ignore (P.map pool (fun x -> if x = 5 then failwith "boom" else x)
+                 (List.init 10 Fun.id));
+       false
+     with Failure m -> m = "boom")
+
+let test_pool_nested_map () =
+  let pool = P.create ~domains:3 () in
+  Fun.protect ~finally:(fun () -> P.shutdown pool) @@ fun () ->
+  (* Outer jobs submit inner maps; workers fall back to serial execution
+     rather than deadlocking on their own pool. *)
+  let rows = P.map pool (fun i -> P.map pool (fun j -> (10 * i) + j) [ 1; 2; 3 ]) [ 1; 2 ] in
+  check_int_list "nested flattened" [ 11; 12; 13; 21; 22; 23 ] (List.concat rows)
+
+let test_parallel_experiments_equal_serial () =
+  (* The whole-experiment property: batched analyses must reproduce the
+     serial, cache-free numbers exactly, run after run. *)
+  let run () =
+    AC.reset ();
+    List.concat_map
+      (fun (_, config) ->
+        List.map
+          (fun entry ->
+            Sel4_rt.Response_time.computed_cycles ~config Sel4.Build.improved
+              entry)
+          KM.entry_points)
+      configs
+  in
+  let parallel1 = run () in
+  let parallel2 = run () in
+  P.set_serial true;
+  AC.set_enabled false;
+  let serial =
+    Fun.protect
+      ~finally:(fun () ->
+        AC.set_enabled true;
+        P.set_serial false)
+      run
+  in
+  check_int_list "parallel deterministic" parallel1 parallel2;
+  check_int_list "parallel equals serial fresh" serial parallel1
+
+let () =
+  Alcotest.run "engine"
+    [
+      ( "cache",
+        Alcotest.
+          [
+            test_case "cached equals fresh" `Slow test_cached_equals_fresh;
+            test_case "hit counting" `Quick test_cache_counts_hits;
+            test_case "variants share prefix" `Quick test_variants_share_prefix;
+            test_case "disabled bypasses tables" `Quick
+              test_disabled_cache_bypasses_tables;
+            test_case "warm start same optimum" `Quick
+              test_warm_start_same_optimum;
+          ] );
+      ( "pool",
+        Alcotest.
+          [
+            test_case "map matches serial" `Quick test_pool_map_matches_serial;
+            test_case "exceptions propagate" `Quick
+              test_pool_exception_propagates;
+            test_case "nested maps" `Quick test_pool_nested_map;
+            test_case "experiments equal serial" `Slow
+              test_parallel_experiments_equal_serial;
+          ] );
+    ]

@@ -57,15 +57,19 @@ let test_rat_order_antisym =
 
 (* --- Simplex unit cases --- *)
 
+(* Constraints are written densely in the cases below and converted to the
+   solver's sparse-row form here. *)
 let lp num_vars maximize constraints =
+  let sparse coeffs =
+    Array.to_list (Array.mapi (fun v c -> (v, c)) coeffs)
+    |> List.filter_map (fun (v, c) ->
+           if c = 0 then None else Some (v, R.of_int c))
+  in
   {
     Ilp.Simplex.num_vars;
     maximize = Array.map R.of_int maximize;
     constraints =
-      List.map
-        (fun (coeffs, op, b) ->
-          (Array.map R.of_int coeffs, op, R.of_int b))
-        constraints;
+      List.map (fun (coeffs, op, b) -> (sparse coeffs, op, R.of_int b)) constraints;
   }
 
 let objective_of = function
@@ -254,6 +258,31 @@ let test_lp_bounds_ilp =
           true
       | _ -> false)
 
+let test_bb_warm_start =
+  (* A warm start taken from the optimal solution (or any junk vector) must
+     never change the reported optimum: valid incumbents only prune, and
+     infeasible candidates are discarded. *)
+  QCheck.Test.make ~count:300 ~name:"warm start preserves the optimum"
+    (QCheck.make ~print:print_ilp random_ilp_gen)
+    (fun instance ->
+      let p = build_problem instance in
+      let cold = Ilp.Branch_bound.solve p in
+      let warm ws = Ilp.Branch_bound.solve ~warm_start:ws p in
+      let junk =
+        Array.init (List.length (Ilp.Problem.vars p)) (fun i -> (i * 7) - 3)
+      in
+      match cold with
+      | Ilp.Branch_bound.Optimal { objective; values } -> (
+          (match warm junk with
+          | Ilp.Branch_bound.Optimal { objective = o; _ } -> o = objective
+          | _ -> false)
+          &&
+          match warm values with
+          | Ilp.Branch_bound.Optimal { objective = o; _ } -> o = objective
+          | _ -> false)
+      | Ilp.Branch_bound.Infeasible -> warm junk = Ilp.Branch_bound.Infeasible
+      | Ilp.Branch_bound.Unbounded -> true)
+
 let test_bb_integrality () =
   (* max x s.t. 2x <= 3 -> LP gives 3/2, ILP must give 1. *)
   let p = Ilp.Problem.create () in
@@ -305,7 +334,7 @@ let () =
           ] );
       ( "branch-bound",
         Alcotest.[ test_case "integrality" `Quick test_bb_integrality ]
-        @ qsuite [ test_bb_vs_brute_force; test_lp_bounds_ilp ] );
+        @ qsuite [ test_bb_vs_brute_force; test_lp_bounds_ilp; test_bb_warm_start ] );
       ( "problem",
         Alcotest.[ test_case "pretty printing" `Quick test_problem_pp ] );
     ]
