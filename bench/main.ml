@@ -21,7 +21,15 @@
      micro    Bechamel microbenchmarks of the core data structures *)
 
 let run_table1 () = Sel4_rt.Experiments.(print_table1 (table1 ()))
-let run_table2 () = Sel4_rt.Experiments.(print_table2 (table2 ()))
+
+(* The latest table2 rows, kept for the --json report (observed-WCET
+   provenance). *)
+let table2_rows : Sel4_rt.Experiments.table2_row list ref = ref []
+
+let run_table2 () =
+  let rows = Sel4_rt.Experiments.table2 () in
+  table2_rows := rows;
+  Sel4_rt.Experiments.print_table2 rows
 let run_fig7 () = Sel4_rt.Experiments.(print_fig7 (fig7 ()))
 let run_fig8 () = Sel4_rt.Experiments.(print_fig8 (fig8 ()))
 let run_fig9 () = Sel4_rt.Experiments.(print_fig9 (fig9 ()))
@@ -188,16 +196,46 @@ let json_escape s =
     s;
   Buffer.contents b
 
+let cache_stats_json (stats : Sel4_rt.Analysis_cache.stats) =
+  Printf.sprintf
+    "{\"hits\": %d, \"misses\": %d, \"hit_rate\": %.6f, \"prefix_hits\": %d, \
+     \"prefix_misses\": %d}"
+    stats.Sel4_rt.Analysis_cache.hits stats.Sel4_rt.Analysis_cache.misses
+    (Sel4_rt.Analysis_cache.hit_rate stats)
+    stats.Sel4_rt.Analysis_cache.prefix_hits
+    stats.Sel4_rt.Analysis_cache.prefix_misses
+
+let provenance_json (p : Sel4_rt.Workloads.provenance) =
+  Printf.sprintf
+    "{\"workload\": \"%s\", \"worst_seed\": %d, \"section\": \"%s\", \
+     \"section_cycles\": %d, \"cycles_to_preempt\": %s, \"stall_cycles\": %d, \
+     \"compute_cycles\": %d}"
+    (json_escape p.Sel4_rt.Workloads.workload)
+    p.Sel4_rt.Workloads.worst_seed
+    (json_escape p.Sel4_rt.Workloads.section)
+    p.Sel4_rt.Workloads.section_cycles
+    (match p.Sel4_rt.Workloads.cycles_to_preempt with
+    | Some c -> string_of_int c
+    | None -> "null")
+    p.Sel4_rt.Workloads.stall_cycles p.Sel4_rt.Workloads.compute_cycles
+
+let table2_cell_json (c : Sel4_rt.Experiments.table2_cell) =
+  Printf.sprintf "{\"computed\": %d, \"observed\": %d, \"provenance\": %s}"
+    c.Sel4_rt.Experiments.computed c.Sel4_rt.Experiments.observed
+    (provenance_json c.Sel4_rt.Experiments.prov)
+
 let write_json ~path ~section_times ~engine_wall_s ~serial_fresh_wall_s
-    ~(stats : Sel4_rt.Analysis_cache.stats) ~domains ~analysis_rows =
+    ~(stats : Sel4_rt.Analysis_cache.stats) ~domains ~requested_domains
+    ~recommended_domains ~warning ~analysis_rows ~table2_rows =
   let buf = Buffer.create 2048 in
   let addf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   let f v = Printf.sprintf "%.6f" v in
   addf "{\n  \"sections\": [\n";
   List.iteri
-    (fun i (name, wall) ->
-      addf "    {\"name\": \"%s\", \"wall_s\": %s}%s\n" (json_escape name)
-        (f wall)
+    (fun i (name, wall, sstats) ->
+      addf "    {\"name\": \"%s\", \"wall_s\": %s, \"cache\": %s}%s\n"
+        (json_escape name) (f wall)
+        (cache_stats_json sstats)
         (if i < List.length section_times - 1 then "," else ""))
     section_times;
   addf "  ],\n";
@@ -206,13 +244,30 @@ let write_json ~path ~section_times ~engine_wall_s ~serial_fresh_wall_s
   addf "  \"speedup\": %s,\n"
     (f (if engine_wall_s > 0.0 then serial_fresh_wall_s /. engine_wall_s else 0.0));
   addf "  \"domains\": %d,\n" domains;
-  addf
-    "  \"cache\": {\"hits\": %d, \"misses\": %d, \"hit_rate\": %s, \
-     \"prefix_hits\": %d, \"prefix_misses\": %d},\n"
-    stats.Sel4_rt.Analysis_cache.hits stats.Sel4_rt.Analysis_cache.misses
-    (f (Sel4_rt.Analysis_cache.hit_rate stats))
-    stats.Sel4_rt.Analysis_cache.prefix_hits
-    stats.Sel4_rt.Analysis_cache.prefix_misses;
+  addf "  \"requested_domains\": %s,\n"
+    (match requested_domains with Some n -> string_of_int n | None -> "null");
+  addf "  \"recommended_domains\": %d,\n" recommended_domains;
+  addf "  \"warning\": %s,\n"
+    (match warning with
+    | Some w -> Printf.sprintf "\"%s\"" (json_escape w)
+    | None -> "null");
+  addf "  \"cache\": %s,\n" (cache_stats_json stats);
+  addf "  \"metrics\": %s,\n"
+    (Obs.Metrics.to_json (Obs.Metrics.snapshot ()));
+  (match table2_rows with
+  | [] -> ()
+  | rows ->
+      addf "  \"table2\": [\n";
+      List.iteri
+        (fun i (r : Sel4_rt.Experiments.table2_row) ->
+          addf "    {\"entry\": \"%s\", \"l2_off\": %s, \"l2_on\": %s}%s\n"
+            (json_escape
+               (Sel4_rt.Kernel_model.entry_name r.Sel4_rt.Experiments.t2_entry))
+            (table2_cell_json r.Sel4_rt.Experiments.after_l2_off)
+            (table2_cell_json r.Sel4_rt.Experiments.after_l2_on)
+            (if i < List.length rows - 1 then "," else ""))
+        rows;
+      addf "  ],\n");
   addf "  \"analysis\": [\n";
   List.iteri
     (fun i (r : Sel4_rt.Experiments.analysis_cost_row) ->
@@ -243,18 +298,43 @@ let () =
       Fmt.epr "unknown flag %s (only --json is supported)@." fl;
       exit 1);
   let requested = match names with [] -> List.map fst sections | _ -> names in
+  (* Each section starts with fresh hit/miss counters, so the --json report
+     can attribute cache behaviour per section; the cumulative view is the
+     per-section sum. *)
   let section_times =
     List.map
       (fun name ->
         let f = section_fn name in
         Fmt.pr "==== %s ====@." name;
-        (name, timed f))
+        Sel4_rt.Analysis_cache.reset_stats ();
+        let wall = timed f in
+        (name, wall, Sel4_rt.Analysis_cache.stats ()))
       requested
   in
   if json then begin
-    let engine_wall_s = List.fold_left (fun a (_, t) -> a +. t) 0.0 section_times in
-    let stats = Sel4_rt.Analysis_cache.stats () in
+    let engine_wall_s =
+      List.fold_left (fun a (_, t, _) -> a +. t) 0.0 section_times
+    in
+    let stats =
+      List.fold_left
+        (fun (a : Sel4_rt.Analysis_cache.stats) (_, _, (s : Sel4_rt.Analysis_cache.stats)) ->
+          {
+            Sel4_rt.Analysis_cache.hits = a.Sel4_rt.Analysis_cache.hits + s.Sel4_rt.Analysis_cache.hits;
+            misses = a.Sel4_rt.Analysis_cache.misses + s.Sel4_rt.Analysis_cache.misses;
+            prefix_hits = a.Sel4_rt.Analysis_cache.prefix_hits + s.Sel4_rt.Analysis_cache.prefix_hits;
+            prefix_misses = a.Sel4_rt.Analysis_cache.prefix_misses + s.Sel4_rt.Analysis_cache.prefix_misses;
+          })
+        { Sel4_rt.Analysis_cache.hits = 0; misses = 0; prefix_hits = 0; prefix_misses = 0 }
+        section_times
+    in
+    (* The pool size is resolved once per process: SEL4RT_DOMAINS when set,
+       otherwise the runtime's recommendation (capped at 8). *)
     let domains = Sel4_rt.Parallel.size (Sel4_rt.Parallel.default ()) in
+    let requested_domains =
+      Option.bind (Sys.getenv_opt "SEL4RT_DOMAINS") (fun s ->
+          int_of_string_opt (String.trim s))
+    in
+    let recommended_domains = Domain.recommended_domain_count () in
     (* The ILP-size rows are cached by now, so this re-query is free. *)
     let analysis_rows = Sel4_rt.Experiments.analysis_cost () in
     (* Serial fresh baseline: same sections, one domain, no memoisation. *)
@@ -266,9 +346,18 @@ let () =
     in
     Sel4_rt.Analysis_cache.set_enabled true;
     Sel4_rt.Parallel.set_serial false;
+    let warning =
+      if domains <= 1 then
+        Some
+          "parallel and serial baselines both ran on a single domain; the \
+           speedup figure does not measure parallelism"
+      else None
+    in
+    (match warning with Some w -> Fmt.epr "warning: %s@." w | None -> ());
     let path = "BENCH_wcet.json" in
     write_json ~path ~section_times ~engine_wall_s ~serial_fresh_wall_s ~stats
-      ~domains ~analysis_rows;
+      ~domains ~requested_domains ~recommended_domains ~warning ~analysis_rows
+      ~table2_rows:!table2_rows;
     Fmt.pr "@.engine: %.3fs  serial fresh: %.3fs  speedup: %.1fx  cache hit \
             rate: %.0f%%  (%s)@."
       engine_wall_s serial_fresh_wall_s

@@ -177,6 +177,172 @@ let loops_cmd =
     (Cmd.info "loops" ~doc:"Compute the kernel loop bounds (Section 5.3).")
     Term.(const run $ const ())
 
+(* --- trace: run a scenario with the cycle-accurate event tracer on --- *)
+
+type trace_scenario = Quickstart | Entry of Sel4_rt.Kernel_model.entry_point
+
+let scenario_conv =
+  let parse = function
+    | "quickstart" -> Ok Quickstart
+    | "syscall" -> Ok (Entry Sel4_rt.Kernel_model.Syscall)
+    | "interrupt" | "irq" -> Ok (Entry Sel4_rt.Kernel_model.Interrupt)
+    | "fault" | "pagefault" -> Ok (Entry Sel4_rt.Kernel_model.Page_fault)
+    | "undefined" | "undef" ->
+        Ok (Entry Sel4_rt.Kernel_model.Undefined_instruction)
+    | s -> Error (`Msg (Fmt.str "unknown scenario %S" s))
+  in
+  let print ppf = function
+    | Quickstart -> Fmt.string ppf "quickstart"
+    | Entry e -> Fmt.string ppf (Sel4_rt.Kernel_model.entry_name e)
+  in
+  Arg.conv (parse, print)
+
+let format_conv =
+  let parse = function
+    | "chrome" | "json" -> Ok `Chrome
+    | "text" | "timeline" -> Ok `Text
+    | s -> Error (`Msg (Fmt.str "unknown format %S (chrome or text)" s))
+  in
+  let print ppf f =
+    Fmt.string ppf (match f with `Chrome -> "chrome" | `Text -> "text")
+  in
+  Arg.conv (parse, print)
+
+(* The examples/quickstart.ml sequence — boot, IPC ping-pong, interrupt
+   delivery — with the tracer attached from the first boot instruction. *)
+let run_quickstart_traced ~config buf =
+  let module K = Sel4.Kernel in
+  let module B = Sel4.Boot in
+  let cpu = Hw.Cpu.create config in
+  Hw.Cpu.set_trace_buffer cpu buf;
+  let env = B.boot ~cpu Sel4.Build.improved in
+  let expect what = function
+    | K.Completed -> ()
+    | _ -> failwith ("quickstart trace: " ^ what ^ " failed")
+  in
+  let _ep = B.spawn_endpoint env ~dest:10 in
+  let server = B.spawn_thread env ~priority:150 ~dest:11 in
+  let client = B.spawn_thread env ~priority:120 ~dest:12 in
+  B.make_runnable env server;
+  B.make_runnable env client;
+  K.force_run env.B.k server;
+  expect "recv" (K.kernel_entry env.B.k (K.Ev_recv { ep = 10 }));
+  K.force_run env.B.k client;
+  client.Sel4.Ktypes.regs.(0) <- 0xCAFE;
+  expect "call"
+    (K.kernel_entry env.B.k
+       (K.Ev_call { ep = 10; badge_hint = 0; msg_len = 2; extra_caps = [] }));
+  expect "reply"
+    (K.kernel_entry env.B.k (K.Ev_reply_recv { ep = 10; msg_len = 1 }));
+  let _irq_ep = B.spawn_endpoint env ~dest:20 in
+  let handler = B.spawn_thread env ~priority:200 ~dest:21 in
+  B.make_runnable env handler;
+  K.force_run env.B.k env.B.root_tcb;
+  expect "irq setup"
+    (K.run_to_completion env.B.k
+       (K.Ev_invoke (K.Inv_irq_handler { line = 7; ep = 20 })));
+  K.force_run env.B.k handler;
+  expect "handler recv" (K.kernel_entry env.B.k (K.Ev_recv { ep = 20 }));
+  K.force_run env.B.k env.B.root_tcb;
+  K.raise_irq env.B.k 7;
+  expect "interrupt" (K.kernel_entry env.B.k K.Ev_interrupt);
+  Hw.Cpu.clear_trace_buffer cpu
+
+let trace_cmd =
+  let run scenario build l2 seed format out =
+    let config = config_of ~l2 ~pin:false in
+    let buf = Obs.Trace.create () in
+    (match scenario with
+    | Quickstart -> run_quickstart_traced ~config buf
+    | Entry entry -> (
+        match Sel4_rt.Workloads.run_traced ~config ~buf ~seed build entry with
+        | Sel4.Kernel.Failed e, _ ->
+            Fmt.epr "scenario failed: %s@." e;
+            exit 1
+        | (Sel4.Kernel.Completed | Sel4.Kernel.Preempted), _ -> ()));
+    let rendered =
+      match format with
+      | `Chrome ->
+          Obs.Trace.to_chrome_json ~cycles_per_us:config.Hw.Config.clock_mhz
+            buf
+      | `Text -> Fmt.str "%a" Obs.Trace.pp_timeline buf
+    in
+    match out with
+    | None -> print_string rendered
+    | Some path ->
+        let oc = open_out path in
+        output_string oc rendered;
+        close_out oc;
+        Fmt.pr "wrote %s (%d events, %d dropped)@." path
+          (Obs.Trace.length buf) (Obs.Trace.dropped buf)
+  in
+  let scenario_arg =
+    Arg.(
+      value
+      & pos 0 scenario_conv Quickstart
+      & info [] ~docv:"SCENARIO"
+          ~doc:
+            "Scenario to trace: quickstart (the examples/quickstart.ml \
+             sequence), or an adversarial worst-case entry — syscall, \
+             interrupt, fault, undefined.")
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "seed" ] ~docv:"N" ~doc:"Cache-pollution seed.")
+  in
+  let format_arg =
+    Arg.(
+      value & opt format_conv `Text
+      & info [ "format"; "f" ] ~docv:"FORMAT"
+          ~doc:
+            "Output format: text (human-readable timeline) or chrome \
+             (trace_event JSON, loadable in Perfetto / chrome://tracing).")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out"; "o" ] ~docv:"FILE" ~doc:"Write the trace to FILE.")
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Run a scenario with the cycle-accurate kernel tracer attached and \
+          export the event timeline.")
+    Term.(
+      const run $ scenario_arg $ build_arg $ l2_arg $ seed_arg $ format_arg
+      $ out_arg)
+
+let metrics_cmd =
+  let run l2 runs =
+    let config = config_of ~l2 ~pin:false in
+    (* Exercise the full pipeline once per entry point — IPET stage spans,
+       analysis-cache counters, pool stats — plus one observed workload for
+       the hardware counters, then dump the registry. *)
+    List.iter
+      (fun entry ->
+        ignore
+          (Sel4_rt.Response_time.computed ~config Sel4.Build.improved entry))
+      Sel4_rt.Kernel_model.entry_points;
+    ignore
+      (Sel4_rt.Response_time.observed ~runs ~config Sel4.Build.improved
+         Sel4_rt.Kernel_model.Interrupt);
+    print_string (Obs.Metrics.to_json (Obs.Metrics.snapshot ()));
+    print_newline ()
+  in
+  let runs_arg =
+    Arg.(
+      value & opt int 5
+      & info [ "runs" ] ~docv:"N" ~doc:"Observed-workload repetitions.")
+  in
+  Cmd.v
+    (Cmd.info "metrics"
+       ~doc:
+         "Run the analysis pipeline and dump the metrics registry (counters, \
+          gauges, stage-span histograms) as JSON.")
+    Term.(const run $ l2_arg $ runs_arg)
+
 let pins_cmd =
   let run build =
     let s = Sel4_rt.Pinning.select build in
@@ -200,4 +366,13 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ wcet_cmd; observe_cmd; response_cmd; repro_cmd; loops_cmd; pins_cmd ]))
+          [
+            wcet_cmd;
+            observe_cmd;
+            response_cmd;
+            repro_cmd;
+            loops_cmd;
+            pins_cmd;
+            trace_cmd;
+            metrics_cmd;
+          ]))

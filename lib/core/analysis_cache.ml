@@ -44,11 +44,12 @@ let prefixes : (prefix_key, Wcet.Ipet.prepared cell) Hashtbl.t =
 
 let results : (result_key, Wcet.Ipet.result cell) Hashtbl.t = Hashtbl.create 64
 
-(* Counters, mutated under [lock] only. *)
-let result_hits = ref 0
-let result_misses = ref 0
-let prefix_hits = ref 0
-let prefix_misses = ref 0
+(* Counters live in the process-wide metrics registry, so `sel4rt metrics`
+   and the bench --json report read the same numbers as {!stats}. *)
+let result_hits = Obs.Metrics.counter "analysis_cache.result_hits"
+let result_misses = Obs.Metrics.counter "analysis_cache.result_misses"
+let prefix_hits = Obs.Metrics.counter "analysis_cache.prefix_hits"
+let prefix_misses = Obs.Metrics.counter "analysis_cache.prefix_misses"
 
 let enabled = Atomic.make true
 
@@ -62,21 +63,22 @@ type stats = {
 }
 
 let stats () =
-  Mutex.lock lock;
-  let s =
-    {
-      hits = !result_hits;
-      misses = !result_misses;
-      prefix_hits = !prefix_hits;
-      prefix_misses = !prefix_misses;
-    }
-  in
-  Mutex.unlock lock;
-  s
+  {
+    hits = Obs.Metrics.value result_hits;
+    misses = Obs.Metrics.value result_misses;
+    prefix_hits = Obs.Metrics.value prefix_hits;
+    prefix_misses = Obs.Metrics.value prefix_misses;
+  }
 
 let hit_rate { hits; misses; _ } =
   if hits + misses = 0 then 0.0
   else float_of_int hits /. float_of_int (hits + misses)
+
+let reset_stats () =
+  Obs.Metrics.set_counter result_hits 0;
+  Obs.Metrics.set_counter result_misses 0;
+  Obs.Metrics.set_counter prefix_hits 0;
+  Obs.Metrics.set_counter prefix_misses 0
 
 let reset () =
   Mutex.lock lock;
@@ -89,11 +91,8 @@ let reset () =
   in
   List.iter (Hashtbl.remove prefixes) (settled prefixes);
   List.iter (Hashtbl.remove results) (settled results);
-  result_hits := 0;
-  result_misses := 0;
-  prefix_hits := 0;
-  prefix_misses := 0;
-  Mutex.unlock lock
+  Mutex.unlock lock;
+  reset_stats ()
 
 (* Compute-once memoisation: the first requester computes, everyone else
    waits for the settled cell.  Cached exceptions are re-raised (the
@@ -105,7 +104,7 @@ let memo tbl hit miss key compute =
   let counted = ref false in
   let count c =
     if not !counted then begin
-      incr c;
+      Obs.Metrics.incr c;
       counted := true
     end
   in

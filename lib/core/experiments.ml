@@ -99,7 +99,21 @@ let print_table1 rows =
 
 (* --- Table 2: WCET before and after the changes, L2 off and on --- *)
 
-type table2_cell = { computed : int; observed : int; ratio : float }
+(* Batch thunks mixing computed (IPET) and observed (traced execution)
+   measurements; the variant keeps the thunk list homogeneous. *)
+type meas = C of int | O of int * Workloads.provenance
+
+let c_cycles = function C v -> v | O _ -> invalid_arg "expected computed"
+let o_cycles = function O (v, p) -> (v, p) | C _ -> invalid_arg "expected observed"
+
+type table2_cell = {
+  computed : int;
+  observed : int;
+  ratio : float;
+  prov : Workloads.provenance;
+      (* where the observed worst case came from: pollution seed, worst
+         non-preemptible section, stall/compute split *)
+}
 
 type table2_row = {
   t2_entry : Kernel_model.entry_point;
@@ -115,25 +129,38 @@ let table2 ?(runs = 15) () =
       (List.concat_map
          (fun entry ->
            [
-             (fun () -> Response_time.computed_cycles ~config:off original entry);
-             (fun () -> Response_time.computed_cycles ~config:off improved entry);
-             (fun () -> Response_time.observed ~runs ~config:off improved entry);
-             (fun () -> Response_time.computed_cycles ~config:on improved entry);
-             (fun () -> Response_time.observed ~runs ~config:on improved entry);
+             (fun () ->
+               C (Response_time.computed_cycles ~config:off original entry));
+             (fun () ->
+               C (Response_time.computed_cycles ~config:off improved entry));
+             (fun () ->
+               let v, p = Response_time.observed_traced ~runs ~config:off improved entry in
+               O (v, p));
+             (fun () ->
+               C (Response_time.computed_cycles ~config:on improved entry));
+             (fun () ->
+               let v, p = Response_time.observed_traced ~runs ~config:on improved entry in
+               O (v, p));
            ])
          Kernel_model.entry_points)
   in
-  let cell computed observed =
-    { computed; observed; ratio = float_of_int computed /. float_of_int observed }
+  let cell computed obs =
+    let observed, prov = o_cycles obs in
+    {
+      computed;
+      observed;
+      ratio = float_of_int computed /. float_of_int observed;
+      prov;
+    }
   in
   List.map2
     (fun entry -> function
       | [ before; off_c; off_o; on_c; on_o ] ->
           {
             t2_entry = entry;
-            before_l2_off = before;
-            after_l2_off = cell off_c off_o;
-            after_l2_on = cell on_c on_o;
+            before_l2_off = c_cycles before;
+            after_l2_off = cell (c_cycles off_c) off_o;
+            after_l2_on = cell (c_cycles on_c) on_o;
           }
       | _ -> assert false)
     Kernel_model.entry_points (chunks 5 cells)
@@ -156,6 +183,10 @@ let print_table2 rows =
         (us on r.after_l2_on.computed)
         (us on r.after_l2_on.observed)
         r.after_l2_on.ratio)
+    rows;
+  Fmt.pr "Observed worst-case provenance (L2 off):@.";
+  List.iter
+    (fun r -> Fmt.pr "  %a@." Workloads.pp_provenance r.after_l2_off.prov)
     rows
 
 (* --- Figure 8: overestimation of the hardware model on forced paths --- *)
@@ -212,10 +243,14 @@ type fig9_row = {
   with_l2 : int;
   with_bpred : int;
   with_both : int;
+  f9_prov : Workloads.provenance;  (* attribution of the +both worst case *)
 }
 
 let fig9 ?(runs = 15) () =
-  let obs ~config entry () = Response_time.observed ~runs ~config improved entry in
+  let obs ~config entry () =
+    let v, p = Response_time.observed_traced ~runs ~config improved entry in
+    O (v, p)
+  in
   let cells =
     batch
       (List.concat_map
@@ -231,7 +266,15 @@ let fig9 ?(runs = 15) () =
   List.map2
     (fun entry -> function
       | [ baseline; with_l2; with_bpred; with_both ] ->
-          { f9_entry = entry; baseline; with_l2; with_bpred; with_both }
+          let both, prov = o_cycles with_both in
+          {
+            f9_entry = entry;
+            baseline = fst (o_cycles baseline);
+            with_l2 = fst (o_cycles with_l2);
+            with_bpred = fst (o_cycles with_bpred);
+            with_both = both;
+            f9_prov = prov;
+          }
       | _ -> assert false)
     Kernel_model.entry_points (chunks 4 cells)
 
@@ -561,6 +604,8 @@ type summary = {
   syscall_factor : float;  (* before/after WCET improvement *)
   response_l2_off_us : float;
   response_l2_on_us : float;
+  interrupt_observed : int;  (* observed interrupt-path worst case, L2 off *)
+  interrupt_prov : Workloads.provenance;
 }
 
 let summary () =
@@ -593,22 +638,32 @@ let summary () =
     batch
       [
         (fun () ->
-          Response_time.computed_cycles ~config original Kernel_model.Syscall);
+          C (Response_time.computed_cycles ~config original Kernel_model.Syscall));
         (fun () ->
-          Response_time.computed_cycles ~config improved Kernel_model.Syscall);
-        (fun () -> Response_time.interrupt_response_bound ~config improved);
+          C (Response_time.computed_cycles ~config improved Kernel_model.Syscall));
+        (fun () -> C (Response_time.interrupt_response_bound ~config improved));
         (fun () ->
-          Response_time.interrupt_response_bound ~config:Hw.Config.with_l2
-            improved);
+          C
+            (Response_time.interrupt_response_bound ~config:Hw.Config.with_l2
+               improved));
+        (fun () ->
+          let v, p =
+            Response_time.observed_traced ~config improved Kernel_model.Interrupt
+          in
+          O (v, p));
       ]
   with
-  | [ before_syscall; after_syscall; response_off; response_on ] ->
+  | [ before_syscall; after_syscall; response_off; response_on; int_obs ] ->
+      let interrupt_observed, interrupt_prov = o_cycles int_obs in
       {
         fastpath_cycles;
         syscall_factor =
-          float_of_int before_syscall /. float_of_int after_syscall;
-        response_l2_off_us = us config response_off;
-        response_l2_on_us = us Hw.Config.with_l2 response_on;
+          float_of_int (c_cycles before_syscall)
+          /. float_of_int (c_cycles after_syscall);
+        response_l2_off_us = us config (c_cycles response_off);
+        response_l2_on_us = us Hw.Config.with_l2 (c_cycles response_on);
+        interrupt_observed;
+        interrupt_prov;
       }
   | _ -> assert false
 
@@ -619,4 +674,6 @@ let print_summary s =
     s.syscall_factor;
   Fmt.pr "  Worst-case interrupt response: %.1f us (L2 off), %.1f us (L2 on)@."
     s.response_l2_off_us s.response_l2_on_us;
-  Fmt.pr "  (paper: 356 us L2 off, 481 us L2 on)@."
+  Fmt.pr "  (paper: 356 us L2 off, 481 us L2 on)@.";
+  Fmt.pr "  Observed interrupt path: %d cycles [%a]@." s.interrupt_observed
+    Workloads.pp_provenance s.interrupt_prov

@@ -17,7 +17,14 @@ val print_table1 : table1_row list -> unit
 
 (** {1 Table 2 — before/after WCET, computed vs observed, L2 off/on} *)
 
-type table2_cell = { computed : int; observed : int; ratio : float }
+type table2_cell = {
+  computed : int;
+  observed : int;
+  ratio : float;
+  prov : Workloads.provenance;
+      (** provenance of the observed worst case: pollution seed, worst
+          non-preemptible section, stall/compute split *)
+}
 
 type table2_row = {
   t2_entry : Kernel_model.entry_point;
@@ -48,6 +55,7 @@ type fig9_row = {
   with_l2 : int;
   with_bpred : int;
   with_both : int;
+  f9_prov : Workloads.provenance;  (** attribution of the +both worst case *)
 }
 
 val fig9 : ?runs:int -> unit -> fig9_row list
@@ -138,6 +146,8 @@ type summary = {
   syscall_factor : float;
   response_l2_off_us : float;
   response_l2_on_us : float;
+  interrupt_observed : int;  (** observed interrupt-path worst case, L2 off *)
+  interrupt_prov : Workloads.provenance;
 }
 
 val summary : unit -> summary

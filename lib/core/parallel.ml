@@ -39,6 +39,11 @@ type t = {
 
 let in_worker : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
 
+(* Pool activity for the metrics registry (bench --json, sel4rt metrics). *)
+let m_batches = Obs.Metrics.counter "parallel.batches"
+let m_jobs = Obs.Metrics.counter "parallel.jobs"
+let m_domains = Obs.Metrics.gauge "parallel.domains"
+
 let serial_override = Atomic.make false
 
 let set_serial b = Atomic.set serial_override b
@@ -115,6 +120,7 @@ let create ?domains () =
     }
   in
   pool.workers <- List.init size (fun _ -> Domain.spawn (worker pool));
+  Obs.Metrics.set_gauge m_domains (float_of_int (size + 1));
   pool
 
 let size pool = pool.size + 1
@@ -163,6 +169,8 @@ let map pool f xs =
           let bt = Printexc.get_raw_backtrace () in
           ignore (Atomic.compare_and_set error None (Some (e, bt)))
     in
+    Obs.Metrics.incr m_batches;
+    Obs.Metrics.incr ~by:n m_jobs;
     let b =
       { count = n; run; next = Atomic.make 0; remaining = Atomic.make n }
     in

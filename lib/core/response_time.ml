@@ -29,6 +29,9 @@ let computed_for_path ?(params = Kernel_model.default_params) ~config build
 let observed ?runs ?params ~config build entry =
   Workloads.observed ?runs ?params ~config build entry
 
+let observed_traced ?runs ?params ~config build entry =
+  Workloads.observed_traced ?runs ?params ~config build entry
+
 (* Worst-case interrupt response: the longest non-preemptible kernel path
    (the system call handler) plus the interrupt path itself. *)
 let interrupt_response_bound ?params ?pins ~config build =

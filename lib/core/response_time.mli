@@ -43,6 +43,16 @@ val observed :
   int
 (** Worst cycles over [runs] polluted-cache adversarial executions. *)
 
+val observed_traced :
+  ?runs:int ->
+  ?params:Kernel_model.params ->
+  config:Hw.Config.t ->
+  Sel4.Build.t ->
+  Kernel_model.entry_point ->
+  int * Workloads.provenance
+(** Same worst case as {!observed} (the attached event trace never charges
+    cycles), plus the latency attribution of the worst run. *)
+
 val interrupt_response_bound :
   ?params:Kernel_model.params ->
   ?pins:pins ->

@@ -190,6 +190,24 @@ let measure_once scenario ~seed =
 
 exception Scenario_failed of string
 
+(* Fold one run's hardware counters into the global metrics registry, so
+   `sel4rt metrics` and `bench --json` report total simulated work. *)
+let note_hw_metrics cpu =
+  let c = Hw.Cpu.counters cpu in
+  let add name v = Obs.Metrics.incr ~by:v (Obs.Metrics.counter name) in
+  add "hw.instructions" c.Hw.Cpu.instructions;
+  add "hw.loads" c.Hw.Cpu.loads;
+  add "hw.stores" c.Hw.Cpu.stores;
+  add "hw.branches" c.Hw.Cpu.branches;
+  add "hw.cycles" c.Hw.Cpu.cycles;
+  add "hw.stall_cycles" (Hw.Cpu.stall_cycles cpu)
+
+let check_outcome entry outcome =
+  match outcome with
+  | K.Failed e ->
+      raise (Scenario_failed (Kernel_model.entry_name entry ^ ": " ^ e))
+  | K.Completed | K.Preempted -> ()
+
 (* Observed worst case: maximum over polluted runs.  Every run must leave
    the system able to repeat the measurement, so the syscall scenario
    rebuilds the rendezvous between runs. *)
@@ -198,9 +216,110 @@ let observed ?(runs = 25) ?params ~config build entry =
   for seed = 1 to runs do
     let s = scenario ?params ~config build entry in
     let outcome, cycles = measure_once s ~seed in
-    (match outcome with
-    | K.Failed e -> raise (Scenario_failed (Kernel_model.entry_name entry ^ ": " ^ e))
-    | K.Completed | K.Preempted -> ());
+    check_outcome entry outcome;
+    note_hw_metrics s.cpu;
     if cycles > !worst then worst := cycles
   done;
   !worst
+
+(* --- traced measurement and latency attribution --- *)
+
+type provenance = {
+  workload : string;
+  worst_seed : int;
+  section : string;
+  section_cycles : int;
+  cycles_to_preempt : int option;
+  stall_cycles : int;
+  compute_cycles : int;
+}
+
+let pp_provenance ppf p =
+  Fmt.pf ppf "%s seed=%d section=%s (%d cycles%a, stall=%d compute=%d)"
+    p.workload p.worst_seed p.section p.section_cycles
+    (fun ppf -> function
+      | None -> ()
+      | Some c -> Fmt.pf ppf ", %d to preempt" c)
+    p.cycles_to_preempt p.stall_cycles p.compute_cycles
+
+(* Run one scenario with an event trace attached.  Emission charges
+   nothing, so the cycle count is identical to an untraced run. *)
+let run_traced ?params ~config ~buf ~seed build entry =
+  let s = scenario ?params ~config build entry in
+  Hw.Cpu.set_trace_buffer s.cpu buf;
+  let outcome, cycles = measure_once s ~seed in
+  Hw.Cpu.clear_trace_buffer s.cpu;
+  note_hw_metrics s.cpu;
+  (outcome, cycles)
+
+(* Attribute one run: for the interrupt entry, break down the delivery
+   latency; for the other entries, find the longest stretch between
+   preemption opportunities. *)
+let attribute entry events =
+  match entry with
+  | Kernel_model.Interrupt -> (
+      match List.rev (Obs.Attrib.irq_breakdowns events) with
+      | bd :: _ ->
+          Some
+            ( bd.Obs.Attrib.section,
+              bd.Obs.Attrib.latency,
+              bd.Obs.Attrib.cycles_to_preempt,
+              bd.Obs.Attrib.stall_cycles,
+              bd.Obs.Attrib.compute_cycles )
+      | [] -> None)
+  | _ -> (
+      match Obs.Attrib.longest_nonpreemptible events with
+      | Some sec ->
+          Some
+            ( sec.Obs.Attrib.sec_label,
+              sec.Obs.Attrib.sec_cycles,
+              None,
+              sec.Obs.Attrib.sec_stall,
+              sec.Obs.Attrib.sec_cycles - sec.Obs.Attrib.sec_stall )
+      | None -> None)
+
+(* Observed worst case with provenance: same maximum as {!observed} (the
+   trace buffer never charges cycles), plus the attribution of the worst
+   run — which section it sat in, how far the next preemption point was,
+   and the stall/compute split. *)
+let observed_traced ?(runs = 25) ?params ~config build entry =
+  let name = Kernel_model.entry_name entry in
+  let worst = ref 0 in
+  let prov =
+    ref
+      {
+        workload = name;
+        worst_seed = 0;
+        section = "unknown";
+        section_cycles = 0;
+        cycles_to_preempt = None;
+        stall_cycles = 0;
+        compute_cycles = 0;
+      }
+  in
+  for seed = 1 to runs do
+    let s = scenario ?params ~config build entry in
+    let buf = Obs.Trace.create () in
+    Hw.Cpu.set_trace_buffer s.cpu buf;
+    let outcome, cycles = measure_once s ~seed in
+    Hw.Cpu.clear_trace_buffer s.cpu;
+    note_hw_metrics s.cpu;
+    check_outcome entry outcome;
+    if cycles > !worst || seed = 1 then begin
+      if cycles > !worst then worst := cycles;
+      match attribute entry (Obs.Trace.events buf) with
+      | Some (section, section_cycles, cycles_to_preempt, stall, compute) ->
+          prov :=
+            {
+              workload = name;
+              worst_seed = seed;
+              section;
+              section_cycles;
+              cycles_to_preempt;
+              stall_cycles = stall;
+              compute_cycles = compute;
+            }
+      | None -> prov := { !prov with worst_seed = seed }
+    end
+  done;
+  (!worst, !prov)

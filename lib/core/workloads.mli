@@ -44,3 +44,39 @@ val observed :
   int
 (** Maximum observed cycles over [runs] freshly built scenarios.
     @raise Scenario_failed if the measured event fails outright. *)
+
+type provenance = {
+  workload : string;  (** entry-point name *)
+  worst_seed : int;  (** pollution seed of the worst run *)
+  section : string;  (** worst non-preemptible section / delivery section *)
+  section_cycles : int;
+  cycles_to_preempt : int option;
+      (** cycles from interrupt assertion to the first polled preemption
+          point, when one was reached before delivery *)
+  stall_cycles : int;  (** memory-hierarchy share of the section *)
+  compute_cycles : int;
+}
+
+val pp_provenance : provenance Fmt.t
+
+val run_traced :
+  ?params:Kernel_model.params ->
+  config:Hw.Config.t ->
+  buf:Obs.Trace.t ->
+  seed:int ->
+  Sel4.Build.t ->
+  Kernel_model.entry_point ->
+  Sel4.Kernel.outcome * int
+(** Build the scenario, attach [buf], pollute with [seed] and measure one
+    kernel entry.  Cycle counts are bit-identical to an untraced run. *)
+
+val observed_traced :
+  ?runs:int ->
+  ?params:Kernel_model.params ->
+  config:Hw.Config.t ->
+  Sel4.Build.t ->
+  Kernel_model.entry_point ->
+  int * provenance
+(** Same maximum as {!observed} (tracing never charges cycles), plus the
+    latency attribution of the worst run.
+    @raise Scenario_failed if the measured event fails outright. *)

@@ -34,6 +34,9 @@ type t = {
   mutable misses : int;
   mutable evictions : int;
   mutable dirty_evictions : int;
+  mutable on_pin_evict : (int -> unit) option;
+      (* observation hook: a pinned line was evicted, or installing a pin
+         displaced a resident line (argument: the victim's line address) *)
 }
 
 type outcome = Hit | Miss of { evicted_dirty : bool }
@@ -56,6 +59,7 @@ let create ?(policy = Lru) ~line_size ~sets ~ways () =
     misses = 0;
     evictions = 0;
     dirty_evictions = 0;
+    on_pin_evict = None;
   }
 
 let line_size t = t.line_size
@@ -73,6 +77,14 @@ let locked_ways t = t.locked_ways
 let set_index t addr = addr / t.line_size mod t.sets
 let tag_of t addr = addr / t.line_size / t.sets
 let line_addr t addr = addr / t.line_size * t.line_size
+let addr_of t ~tag ~set = ((tag * t.sets) + set) * t.line_size
+
+let set_pin_evict_hook t f = t.on_pin_evict <- f
+
+let notify_pin_evict t si line =
+  match t.on_pin_evict with
+  | Some f when line.tag >= 0 -> f (addr_of t ~tag:line.tag ~set:si)
+  | _ -> ()
 
 let touch t line =
   t.clock <- t.clock + 1;
@@ -123,6 +135,9 @@ let access t ~write addr =
           t.evictions <- t.evictions + 1;
           if line.dirty then t.dirty_evictions <- t.dirty_evictions + 1
         end;
+        (* A pinned line living in an unlocked way offers no protection:
+           losing it here is exactly the event pinning diagnostics want. *)
+        if line.pinned then notify_pin_evict t si line;
         line.tag <- tag;
         line.dirty <- write;
         line.pinned <- false;
@@ -146,6 +161,7 @@ let pin t addr =
         let rec place way =
           if way >= t.locked_ways then false
           else if set.(way).tag = -1 || not set.(way).pinned then begin
+            notify_pin_evict t (set_index t addr) set.(way);
             set.(way).tag <- tag;
             set.(way).dirty <- false;
             set.(way).pinned <- true;

@@ -46,6 +46,12 @@ val pin : t -> int -> bool
 
 val pinned : t -> int -> bool
 
+val set_pin_evict_hook : t -> (int -> unit) option -> unit
+(** Observation hook, called with the victim's line address whenever a
+    pinned line is evicted by {!access} (it lived in an unlocked way) or a
+    {!pin} installation displaces a resident line.  Purely observational:
+    no cost, no state change. *)
+
 val flush : ?keep_pinned:bool -> t -> unit
 (** Invalidate all lines; pinned lines are kept unless [keep_pinned:false]. *)
 

@@ -19,6 +19,9 @@ type access_kind = Fetch | Load | Store
 type t = {
   machine : Machine.t;
   mutable cycles : int;
+  mutable stall : int;
+      (* cycles spent in the memory hierarchy (fetch/load/store latency
+         beyond the 1-cycle issue), a subset of [cycles] *)
   mutable instructions : int;
   mutable loads : int;
   mutable stores : int;
@@ -26,28 +29,34 @@ type t = {
   mutable tracer : (access_kind -> int -> unit) option;
       (* observation hook used to derive cache-pinning candidates from
          execution traces *)
+  mutable events : Obs.Trace.t option;
+      (* structured event trace; emission charges nothing *)
 }
 
 let create config =
   {
     machine = Machine.create config;
     cycles = 0;
+    stall = 0;
     instructions = 0;
     loads = 0;
     stores = 0;
     branches = 0;
     tracer = None;
+    events = None;
   }
 
 let of_machine machine =
   {
     machine;
     cycles = 0;
+    stall = 0;
     instructions = 0;
     loads = 0;
     stores = 0;
     branches = 0;
     tracer = None;
+    events = None;
   }
 
 let set_tracer t f = t.tracer <- Some f
@@ -55,6 +64,24 @@ let clear_tracer t = t.tracer <- None
 
 let trace t kind addr =
   match t.tracer with None -> () | Some f -> f kind addr
+
+(* --- structured event tracing (Obs.Trace) --- *)
+
+let emit t kind =
+  match t.events with
+  | None -> ()
+  | Some buf -> Obs.Trace.emit buf ~at:t.cycles ~stall:t.stall kind
+
+let set_trace_buffer t buf =
+  t.events <- Some buf;
+  Machine.set_pin_evict_hook t.machine
+    (Some (fun cache addr -> emit t (Obs.Trace.Pin_evict { cache; addr })))
+
+let clear_trace_buffer t =
+  t.events <- None;
+  Machine.set_pin_evict_hook t.machine None
+
+let trace_buffer t = t.events
 
 let machine t = t.machine
 let config t = Machine.config t.machine
@@ -73,18 +100,25 @@ let exec t ~base ~count =
   t.cycles <- t.cycles + count;
   for i = 0 to count - 1 do
     trace t Fetch (base + (4 * i));
-    t.cycles <- t.cycles + Machine.fetch t.machine (base + (4 * i))
+    let lat = Machine.fetch t.machine (base + (4 * i)) in
+    t.cycles <- t.cycles + lat;
+    t.stall <- t.stall + lat
   done
 
 let load t addr =
   t.loads <- t.loads + 1;
   trace t Load addr;
-  t.cycles <- t.cycles + Machine.read t.machine addr
+  let lat = Machine.read t.machine addr in
+  t.cycles <- t.cycles + lat;
+  (* The L1-hit cost is the pipeline's load-use cost, not a stall. *)
+  t.stall <- t.stall + max 0 (lat - (Machine.config t.machine).Config.l1_hit_cycles)
 
 let store t addr =
   t.stores <- t.stores + 1;
   trace t Store addr;
-  t.cycles <- t.cycles + Machine.write t.machine addr
+  let lat = Machine.write t.machine addr in
+  t.cycles <- t.cycles + lat;
+  t.stall <- t.stall + max 0 (lat - (Machine.config t.machine).Config.l1_hit_cycles)
 
 let branch t ~pc ~taken =
   t.branches <- t.branches + 1;
@@ -99,8 +133,11 @@ let counters t =
     cycles = t.cycles;
   }
 
+let stall_cycles t = t.stall
+
 let reset t =
   t.cycles <- 0;
+  t.stall <- 0;
   t.instructions <- 0;
   t.loads <- 0;
   t.stores <- 0;

@@ -41,6 +41,22 @@ val set_tracer : t -> (access_kind -> int -> unit) -> unit
 
 val clear_tracer : t -> unit
 
+val stall_cycles : t -> int
+(** Cycles spent in the memory hierarchy so far (a subset of {!cycles}):
+    fetch stalls plus load/store latency beyond the L1-hit cost. *)
+
+val set_trace_buffer : t -> Obs.Trace.t -> unit
+(** Attach a structured event trace.  Every event is stamped with the
+    simulated cycle and stall counters; emission charges nothing, so the
+    cycle count of a traced run is identical to an untraced one.  Also
+    routes cache pin-eviction observations into the buffer. *)
+
+val clear_trace_buffer : t -> unit
+val trace_buffer : t -> Obs.Trace.t option
+
+val emit : t -> Obs.Trace.kind -> unit
+(** Emit one event into the attached buffer (no-op when none). *)
+
 val counters : t -> counters
 val reset : t -> unit
 val pp_counters : counters Fmt.t

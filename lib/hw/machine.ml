@@ -89,6 +89,17 @@ let branch t ~pc ~taken =
 let pin_icache t addr = Cache.pin t.icache addr
 let pin_dcache t addr = Cache.pin t.dcache addr
 
+(* Route pin-eviction observations from both L1 caches through one
+   labelled callback (the {!Cpu} module points this at its trace buffer). *)
+let set_pin_evict_hook t hook =
+  match hook with
+  | None ->
+      Cache.set_pin_evict_hook t.icache None;
+      Cache.set_pin_evict_hook t.dcache None
+  | Some f ->
+      Cache.set_pin_evict_hook t.icache (Some (fun addr -> f "icache" addr));
+      Cache.set_pin_evict_hook t.dcache (Some (fun addr -> f "dcache" addr))
+
 let pollute t ~seed =
   Cache.pollute t.icache ~seed;
   Cache.pollute t.dcache ~seed:(seed + 1);

@@ -29,6 +29,11 @@ val branch : t -> pc:int -> taken:bool -> int
 val pin_icache : t -> int -> bool
 val pin_dcache : t -> int -> bool
 
+val set_pin_evict_hook : t -> (string -> int -> unit) option -> unit
+(** Observation hook for pin evictions in either L1 cache; the callback
+    receives the cache name (["icache"]/["dcache"]) and the victim line
+    address.  Purely observational. *)
+
 val pollute : t -> seed:int -> unit
 (** Fill all unpinned cache lines with dirty junk and reset the predictor:
     the adversarial pre-state for worst-case measurements. *)

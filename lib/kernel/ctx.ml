@@ -34,6 +34,11 @@ let create ?cpu build =
 
 let cycles t = match t.cpu with Some cpu -> Hw.Cpu.cycles cpu | None -> 0
 
+(* Emit a structured trace event (no-op without a CPU or without an
+   attached buffer).  Emission charges nothing: tracing must never change
+   the cycle counts it observes. *)
+let emit t kind = match t.cpu with Some cpu -> Hw.Cpu.emit cpu kind | None -> ()
+
 (* Charge [count] instructions from the code region [name].  The region's
    base gives the fetch addresses. *)
 let exec t name count =
@@ -96,15 +101,18 @@ let irq_pending t =
   refresh t;
   t.irq_arrival <> None
 
-(* Called on the interrupt-dispatch path: record the response latency. *)
+(* Called on the interrupt-dispatch path: record the response latency.
+   Returns it so the kernel's interrupt handler can attribute the delivery
+   in the event trace. *)
 let note_irq_taken t =
   match t.irq_arrival with
-  | None -> ()
+  | None -> None
   | Some arrived ->
       let latency = cycles t - arrived in
       t.irq_latency_last <- latency;
       if latency > t.irq_latency_worst then t.irq_latency_worst <- latency;
-      t.irq_arrival <- None
+      t.irq_arrival <- None;
+      Some latency
 
 (* A preemption point: polls the pending flag (charging the check) and
    reports whether the current long-running operation must give way.
@@ -113,11 +121,15 @@ let note_irq_taken t =
 let preemption_point t =
   exec t "preempt_check" Costs.preempt_check_instrs;
   load t Layout.irq_pending_word;
-  if t.build.Build.preemption_points && irq_pending t then begin
-    t.preempt_count <- t.preempt_count + 1;
-    true
-  end
-  else false
+  let taken =
+    if t.build.Build.preemption_points && irq_pending t then begin
+      t.preempt_count <- t.preempt_count + 1;
+      true
+    end
+    else false
+  in
+  emit t (Obs.Trace.Preempt_point { taken });
+  taken
 
 let worst_irq_latency t = t.irq_latency_worst
 let last_irq_latency t = t.irq_latency_last

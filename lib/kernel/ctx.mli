@@ -15,6 +15,10 @@ type t = {
 val create : ?cpu:Hw.Cpu.t -> Build.t -> t
 val cycles : t -> int
 
+val emit : t -> Obs.Trace.kind -> unit
+(** Emit a structured trace event into the CPU's attached buffer (no-op
+    without a CPU or a buffer).  Charges nothing. *)
+
 val exec : t -> string -> int -> unit
 (** [exec t region n]: charge [n] instructions fetched from the named code
     region (see {!Layout.code}). *)
@@ -35,9 +39,10 @@ val schedule_irq_at : t -> int -> unit
 
 val irq_pending : t -> bool
 
-val note_irq_taken : t -> unit
+val note_irq_taken : t -> int option
 (** Called on the interrupt-dispatch path: record the response latency
-    from arrival to now, and clear the pending state. *)
+    from arrival to now, clear the pending state, and return the latency
+    (None when no interrupt was pending). *)
 
 val preemption_point : t -> bool
 (** Poll the pending flag (charging the check).  Always [false] when the

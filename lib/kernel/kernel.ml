@@ -632,6 +632,7 @@ let raise_irq t line =
   assert (line >= 0 && line < num_irqs);
   if not (List.mem line t.pending_irqs) then
     t.pending_irqs <- t.pending_irqs @ [ line ];
+  Ctx.emit t.ctx (Obs.Trace.Irq_assert { line });
   Ctx.raise_irq t.ctx
 
 (* Arrange for [line] to be asserted once the cycle counter reaches
@@ -641,6 +642,8 @@ let schedule_irq t line ~delay =
   assert (line >= 0 && line < num_irqs);
   if not (List.mem line t.pending_irqs) then
     t.pending_irqs <- t.pending_irqs @ [ line ];
+  Ctx.emit t.ctx
+    (Obs.Trace.Irq_armed { line; fire_at = Ctx.cycles t.ctx + delay });
   Ctx.schedule_irq_at t.ctx (Ctx.cycles t.ctx + delay)
 
 (* The in-kernel interrupt path: acknowledge the interrupt, record the
@@ -649,10 +652,13 @@ let schedule_irq t line ~delay =
 let handle_interrupt_internal t =
   Ctx.exec t.ctx "irq_path" Costs.irq_path_instrs;
   Ctx.load t.ctx Layout.irq_pending_word;
-  Ctx.note_irq_taken t.ctx;
+  let latency = Ctx.note_irq_taken t.ctx in
   match t.pending_irqs with
   | [] -> ()
   | line :: rest ->
+      (match latency with
+      | Some latency -> Ctx.emit t.ctx (Obs.Trace.Irq_deliver { line; latency })
+      | None -> ());
       t.pending_irqs <- rest;
       if rest = [] then () else Ctx.raise_irq t.ctx;
       Ctx.load t.ctx (Layout.irq_handler_table + (4 * line));
@@ -726,6 +732,45 @@ type event =
   | Ev_undefined_instruction
 
 type outcome = Completed | Preempted | Failed of string
+
+(* Short labels for the event trace (syscall enter/exit events). *)
+let invocation_label = function
+  | Inv_retype _ -> "invoke:retype"
+  | Inv_copy _ -> "invoke:copy"
+  | Inv_move _ -> "invoke:move"
+  | Inv_delete _ -> "invoke:delete"
+  | Inv_revoke _ -> "invoke:revoke"
+  | Inv_cancel_badged_sends _ -> "invoke:cancel_badged_sends"
+  | Inv_tcb_priority _ -> "invoke:tcb_priority"
+  | Inv_tcb_configure _ -> "invoke:tcb_configure"
+  | Inv_tcb_suspend _ -> "invoke:tcb_suspend"
+  | Inv_tcb_resume _ -> "invoke:tcb_resume"
+  | Inv_map_frame _ -> "invoke:map_frame"
+  | Inv_unmap_frame _ -> "invoke:unmap_frame"
+  | Inv_map_page_table _ -> "invoke:map_page_table"
+  | Inv_make_asid_pool _ -> "invoke:make_asid_pool"
+  | Inv_assign_asid _ -> "invoke:assign_asid"
+  | Inv_irq_handler _ -> "invoke:irq_handler"
+  | Inv_bind_irq_notification _ -> "invoke:bind_irq_notification"
+
+let event_label = function
+  | Ev_signal _ -> "signal"
+  | Ev_wait _ -> "wait"
+  | Ev_poll _ -> "poll"
+  | Ev_call _ -> "call"
+  | Ev_send _ -> "send"
+  | Ev_recv _ -> "recv"
+  | Ev_reply_recv _ -> "reply_recv"
+  | Ev_yield -> "yield"
+  | Ev_invoke inv -> invocation_label inv
+  | Ev_interrupt -> "interrupt"
+  | Ev_page_fault _ -> "page_fault"
+  | Ev_undefined_instruction -> "undefined_instruction"
+
+let outcome_label = function
+  | Completed -> "completed"
+  | Preempted -> "preempted"
+  | Failed e -> "failed: " ^ e
 
 let lookup t cptr =
   Cspace.resolve t.ctx ~root_cap:t.current.cspace_root ~cptr
@@ -1096,6 +1141,7 @@ let dispatch t event =
    the call stack and then call the kernel's interrupt handler",
    Section 5.2). *)
 let kernel_entry t event =
+  Ctx.emit t.ctx (Obs.Trace.Kernel_enter { event = event_label event });
   Ctx.exec t.ctx "vector_entry" Costs.entry_instrs;
   Ctx.store_block t.ctx Layout.stack_base 64;
   if t.current.restart_syscall then begin
@@ -1114,6 +1160,7 @@ let kernel_entry t event =
       if Ctx.irq_pending t.ctx then handle_interrupt_internal t);
   Ctx.exec t.ctx "vector_exit" Costs.exit_instrs;
   Ctx.load_block t.ctx Layout.stack_base 64;
+  Ctx.emit t.ctx (Obs.Trace.Kernel_exit { outcome = outcome_label outcome });
   outcome
 
 (* Re-execute a preempted system call until it completes.  This is what

@@ -190,10 +190,15 @@ let choose_bitmap ctx t =
   end
 
 let choose_thread ctx t =
-  match t.build.Build.sched with
-  | Build.Lazy -> choose_lazy ctx t
-  | Build.Benno -> choose_benno ctx t
-  | Build.Benno_bitmap -> choose_bitmap ctx t
+  let chosen =
+    match t.build.Build.sched with
+    | Build.Lazy -> choose_lazy ctx t
+    | Build.Benno -> choose_benno ctx t
+    | Build.Benno_bitmap -> choose_bitmap ctx t
+  in
+  Ctx.emit ctx
+    (Obs.Trace.Sched_decision { tcb = chosen.tcb_id; priority = chosen.priority });
+  chosen
 
 (* --- introspection for tests and invariants --- *)
 

@@ -1,0 +1,150 @@
+(* Latency attribution: turn a raw event trace into per-run breakdowns of
+   where the cycles went.
+
+   Two questions matter for the paper's argument:
+
+   - For an interrupt: which non-preemptible section was executing when
+     the line was asserted, how long until the next preemption opportunity,
+     and how the response latency splits into memory-stall vs compute
+     cycles.  (The assertion cycle is recovered from the delivery event:
+     asserted = delivered - latency, which also covers interrupts armed to
+     fire mid-operation.)
+
+   - For any measured entry: the longest non-preemptible section — the
+     longest stretch between consecutive preemption opportunities (kernel
+     entry, polled preemption points, kernel exit) — since that is what
+     bounds the response time an interrupt arriving at the worst moment
+     would see. *)
+
+type irq_breakdown = {
+  line : int;
+  asserted_at : int;
+  delivered_at : int;
+  latency : int;
+  section : string;  (* kernel event in progress at assertion, or "user" *)
+  cycles_to_preempt : int option;
+  stall_cycles : int;
+  compute_cycles : int;
+}
+
+type section = {
+  sec_label : string;  (* kernel event owning the longest section *)
+  sec_cycles : int;
+  sec_stall : int;  (* stall cycles inside that section *)
+}
+
+(* The kernel event (if any) in progress at cycle [at]: the last
+   Kernel_enter at or before [at] without a matching exit before [at]. *)
+let section_at events at =
+  let rec walk current = function
+    | [] -> current
+    | (e : Trace.event) :: rest ->
+        if e.Trace.at > at then current
+        else
+          let current =
+            match e.Trace.kind with
+            | Trace.Kernel_enter { event } -> Some event
+            | Trace.Kernel_exit _ -> None
+            | _ -> current
+          in
+          walk current rest
+  in
+  walk None events
+
+(* Cumulative stall counter as of cycle [at]: the stall stamp of the last
+   event at or before it. *)
+let stall_at events at =
+  let rec walk best = function
+    | [] -> best
+    | (e : Trace.event) :: rest ->
+        if e.Trace.at > at then best else walk e.Trace.stall rest
+  in
+  walk 0 events
+
+let irq_breakdowns events =
+  List.filter_map
+    (fun (e : Trace.event) ->
+      match e.Trace.kind with
+      | Trace.Irq_deliver { line; latency } ->
+          let delivered_at = e.Trace.at in
+          let asserted_at = delivered_at - latency in
+          let section =
+            match section_at events asserted_at with
+            | Some s -> s
+            | None -> "user"
+          in
+          let cycles_to_preempt =
+            List.find_map
+              (fun (p : Trace.event) ->
+                match p.Trace.kind with
+                | Trace.Preempt_point _
+                  when p.Trace.at >= asserted_at && p.Trace.at <= delivered_at
+                  ->
+                    Some (p.Trace.at - asserted_at)
+                | _ -> None)
+              events
+          in
+          let stall_cycles =
+            max 0 (min latency (e.Trace.stall - stall_at events asserted_at))
+          in
+          {
+            line;
+            asserted_at;
+            delivered_at;
+            latency;
+            section;
+            cycles_to_preempt;
+            stall_cycles;
+            compute_cycles = latency - stall_cycles;
+          }
+          |> Option.some
+      | _ -> None)
+    events
+
+(* Longest gap between consecutive preemption opportunities inside kernel
+   execution.  Opportunities: kernel entry, every polled preemption point,
+   kernel exit. *)
+let longest_nonpreemptible events =
+  let best = ref None in
+  let consider label cycles stall =
+    match !best with
+    | Some b when b.sec_cycles >= cycles -> ()
+    | _ -> best := Some { sec_label = label; sec_cycles = cycles; sec_stall = stall }
+  in
+  let current = ref None in
+  (* (label, cycle, stall) of the last opportunity *)
+  List.iter
+    (fun (e : Trace.event) ->
+      match e.Trace.kind with
+      | Trace.Kernel_enter { event } ->
+          current := Some (event, e.Trace.at, e.Trace.stall)
+      | Trace.Preempt_point _ -> (
+          match !current with
+          | Some (label, at, stall) ->
+              consider label (e.Trace.at - at) (e.Trace.stall - stall);
+              current := Some (label, e.Trace.at, e.Trace.stall)
+          | None -> ())
+      | Trace.Kernel_exit _ -> (
+          match !current with
+          | Some (label, at, stall) ->
+              consider label (e.Trace.at - at) (e.Trace.stall - stall);
+              current := None
+          | None -> ())
+      | _ -> ())
+    events;
+  !best
+
+let pp_irq_breakdown ppf b =
+  Fmt.pf ppf
+    "irq%d: asserted @%d in %s, delivered @%d (latency %d = %d stall + %d \
+     compute%a)"
+    b.line b.asserted_at b.section b.delivered_at b.latency b.stall_cycles
+    b.compute_cycles
+    (fun ppf -> function
+      | Some c -> Fmt.pf ppf ", %d cycles to preemption point" c
+      | None -> Fmt.pf ppf ", delivered on exit path")
+    b.cycles_to_preempt
+
+let pp_section ppf s =
+  Fmt.pf ppf "%s: %d cycles non-preemptible (%d stall)" s.sec_label s.sec_cycles
+    s.sec_stall

@@ -1,0 +1,201 @@
+(* Process-wide metrics registry: counters, gauges, and log-bucketed
+   histograms with one snapshot type.
+
+   This unifies the ad-hoc counters scattered over the codebase (analysis
+   cache hits/misses, hardware perf counters, pool statistics) and carries
+   the per-IPET-stage timing spans.  Counters are atomic and gauges/
+   histograms take a short per-registry lock, so instruments are safe to
+   update from any domain of the Parallel pool; totals are
+   order-independent, so metrics stay deterministic under parallelism
+   (wall-time span *values* are not, by nature — they never feed traces).
+
+   Histograms use base-2 log-scaled buckets: an observation v (> 0) lands
+   in bucket ceil(log2 v), i.e. the bucket with upper bound 2^k covers
+   (2^(k-1), 2^k].  Latency spans observe seconds, so bucket -20 is about
+   a microsecond and bucket 0 is a second. *)
+
+type counter = { c_name : string; cell : int Atomic.t }
+type gauge = { g_name : string; mutable g_value : float }
+
+type histogram = {
+  h_name : string;
+  mutable count : int;
+  mutable sum : float;
+  mutable max_value : float;
+  buckets : (int, int) Hashtbl.t;  (* exponent -> observations *)
+}
+
+let lock = Mutex.create ()
+let counters : (string, counter) Hashtbl.t = Hashtbl.create 32
+let gauges : (string, gauge) Hashtbl.t = Hashtbl.create 16
+let histograms : (string, histogram) Hashtbl.t = Hashtbl.create 16
+
+let with_lock f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+let intern tbl name make =
+  with_lock (fun () ->
+      match Hashtbl.find_opt tbl name with
+      | Some i -> i
+      | None ->
+          let i = make () in
+          Hashtbl.replace tbl name i;
+          i)
+
+let counter name =
+  intern counters name (fun () -> { c_name = name; cell = Atomic.make 0 })
+
+let incr ?(by = 1) c = ignore (Atomic.fetch_and_add c.cell by)
+let value c = Atomic.get c.cell
+let set_counter c v = Atomic.set c.cell v
+
+let gauge name = intern gauges name (fun () -> { g_name = name; g_value = 0.0 })
+let set_gauge g v = with_lock (fun () -> g.g_value <- v)
+
+let histogram name =
+  intern histograms name (fun () ->
+      {
+        h_name = name;
+        count = 0;
+        sum = 0.0;
+        max_value = neg_infinity;
+        buckets = Hashtbl.create 8;
+      })
+
+let bucket_of v =
+  if v <= 0.0 then min_int
+  else
+    let k = int_of_float (Float.ceil (Float.log2 v)) in
+    (* Guard the rounding edge: ensure v <= 2^k. *)
+    if 2.0 ** float_of_int k < v then k + 1 else k
+
+let observe h v =
+  with_lock (fun () ->
+      h.count <- h.count + 1;
+      h.sum <- h.sum +. v;
+      if v > h.max_value then h.max_value <- v;
+      let k = bucket_of v in
+      Hashtbl.replace h.buckets k
+        (1 + Option.value ~default:0 (Hashtbl.find_opt h.buckets k)))
+
+(* Time a thunk on the monotonic wall clock and observe elapsed seconds.
+   Wall time is fine here: metrics describe the analysis engine itself;
+   simulated-time measurements go through the tracer instead. *)
+let span h f =
+  let t0 = Monotonic_clock.now () in
+  Fun.protect
+    ~finally:(fun () ->
+      observe h (Int64.to_float (Int64.sub (Monotonic_clock.now ()) t0) *. 1e-9))
+    f
+
+(* --- snapshots --- *)
+
+type hist_snapshot = {
+  hs_count : int;
+  hs_sum : float;
+  hs_max : float;
+  hs_buckets : (int * int) list;  (* (exponent, count), ascending *)
+}
+
+type snapshot = {
+  s_counters : (string * int) list;
+  s_gauges : (string * float) list;
+  s_histograms : (string * hist_snapshot) list;
+}
+
+let snapshot () =
+  with_lock (fun () ->
+      let sorted fold tbl = List.sort compare (Hashtbl.fold fold tbl []) in
+      {
+        s_counters =
+          sorted (fun name c acc -> (name, Atomic.get c.cell) :: acc) counters;
+        s_gauges = sorted (fun name g acc -> (name, g.g_value) :: acc) gauges;
+        s_histograms =
+          sorted
+            (fun name h acc ->
+              ( name,
+                {
+                  hs_count = h.count;
+                  hs_sum = h.sum;
+                  hs_max = (if h.count = 0 then 0.0 else h.max_value);
+                  hs_buckets =
+                    List.sort compare
+                      (Hashtbl.fold (fun k n acc -> (k, n) :: acc) h.buckets []);
+                } )
+              :: acc)
+            histograms;
+      })
+
+let reset () =
+  with_lock (fun () ->
+      Hashtbl.iter (fun _ c -> Atomic.set c.cell 0) counters;
+      Hashtbl.iter (fun _ g -> g.g_value <- 0.0) gauges;
+      Hashtbl.iter
+        (fun _ h ->
+          h.count <- 0;
+          h.sum <- 0.0;
+          h.max_value <- neg_infinity;
+          Hashtbl.reset h.buckets)
+        histograms)
+
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let to_json s =
+  let buf = Buffer.create 2048 in
+  let addf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let sep i = if i > 0 then addf ",\n" else addf "\n" in
+  addf "{\n  \"counters\": {";
+  List.iteri
+    (fun i (name, v) ->
+      sep i;
+      addf "    \"%s\": %d" (json_escape name) v)
+    s.s_counters;
+  addf "\n  },\n  \"gauges\": {";
+  List.iteri
+    (fun i (name, v) ->
+      sep i;
+      addf "    \"%s\": %.6f" (json_escape name) v)
+    s.s_gauges;
+  addf "\n  },\n  \"histograms\": {";
+  List.iteri
+    (fun i (name, h) ->
+      sep i;
+      addf
+        "    \"%s\": {\"count\": %d, \"sum\": %.9f, \"max\": %.9f, \
+         \"buckets\": ["
+        (json_escape name) h.hs_count h.hs_sum h.hs_max;
+      List.iteri
+        (fun j (k, n) ->
+          if j > 0 then addf ", ";
+          addf "{\"le_pow2\": %d, \"count\": %d}" k n)
+        h.hs_buckets;
+      addf "]}")
+    s.s_histograms;
+  addf "\n  }\n}\n";
+  Buffer.contents buf
+
+let pp ppf s =
+  Fmt.pf ppf "counters:@,";
+  List.iter (fun (n, v) -> Fmt.pf ppf "  %-44s %12d@," n v) s.s_counters;
+  if s.s_gauges <> [] then begin
+    Fmt.pf ppf "gauges:@,";
+    List.iter (fun (n, v) -> Fmt.pf ppf "  %-44s %12.3f@," n v) s.s_gauges
+  end;
+  if s.s_histograms <> [] then begin
+    Fmt.pf ppf "histograms:@,";
+    List.iter
+      (fun (n, h) ->
+        Fmt.pf ppf "  %-44s n=%d sum=%.4fs max=%.4fs@," n h.hs_count h.hs_sum
+          h.hs_max)
+      s.s_histograms
+  end

@@ -1,0 +1,48 @@
+(** Process-wide metrics registry: counters, gauges and log-bucketed
+    histograms with a single snapshot type.
+
+    Instruments are interned by name (requesting the same name twice
+    returns the same instrument) and safe to update from any domain.
+    Histograms are base-2 log-scaled: an observation [v > 0] lands in
+    bucket [ceil (log2 v)], so the bucket with exponent [k] covers
+    [(2^(k-1), 2^k]].  Timing spans observe seconds. *)
+
+type counter
+type gauge
+type histogram
+
+val counter : string -> counter
+val incr : ?by:int -> counter -> unit
+val value : counter -> int
+val set_counter : counter -> int -> unit
+
+val gauge : string -> gauge
+val set_gauge : gauge -> float -> unit
+
+val histogram : string -> histogram
+val observe : histogram -> float -> unit
+
+val span : histogram -> (unit -> 'a) -> 'a
+(** Run the thunk, observing its elapsed monotonic wall time in seconds
+    (even if it raises).  Wall time never feeds the tracer — simulated-time
+    measurements are the tracer's job. *)
+
+type hist_snapshot = {
+  hs_count : int;
+  hs_sum : float;
+  hs_max : float;
+  hs_buckets : (int * int) list;  (** (bucket exponent, count), ascending *)
+}
+
+type snapshot = {
+  s_counters : (string * int) list;  (** sorted by name *)
+  s_gauges : (string * float) list;
+  s_histograms : (string * hist_snapshot) list;
+}
+
+val snapshot : unit -> snapshot
+val reset : unit -> unit
+(** Zero every registered instrument (instruments stay registered). *)
+
+val to_json : snapshot -> string
+val pp : Format.formatter -> snapshot -> unit

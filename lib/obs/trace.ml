@@ -1,0 +1,190 @@
+(* Cycle-accurate event tracer.
+
+   A trace is a preallocated ring buffer of structured events stamped with
+   the *simulated* cycle counter (never wall time), so a trace of a given
+   scenario is bit-identical run after run and across serial/parallel
+   execution.  Emission performs no simulated work — it charges no cycles
+   and touches no cache state — so enabling tracing cannot perturb the
+   measurement it observes (the zero-overhead property test_obs verifies).
+
+   Each event also carries the CPU's cumulative memory-stall cycle counter
+   at emission time, which lets the attribution layer split any window of
+   the trace into cache-miss cycles and compute cycles without storing a
+   per-access event. *)
+
+type kind =
+  | Kernel_enter of { event : string }
+  | Kernel_exit of { outcome : string }
+  | Preempt_point of { taken : bool }
+  | Sched_decision of { tcb : int; priority : int }
+  | Irq_assert of { line : int }
+  | Irq_armed of { line : int; fire_at : int }
+  | Irq_deliver of { line : int; latency : int }
+  | Ep_enqueue of { ep : int; tcb : int }
+  | Ep_dequeue of { ep : int; tcb : int }
+  | Untyped_clear of { addr : int; bytes : int }
+  | Vspace_unmap of { addr : int }
+  | Pin_evict of { cache : string; addr : int }
+  | Marker of string
+
+type event = { at : int; stall : int; kind : kind }
+
+type t = {
+  ring : event array;
+  capacity : int;
+  mutable total : int;  (* events ever emitted; write cursor = total mod capacity *)
+}
+
+let default_capacity = 65_536
+
+let dummy = { at = 0; stall = 0; kind = Marker "" }
+
+let create ?(capacity = default_capacity) () =
+  if capacity <= 0 then invalid_arg "Trace.create: capacity must be positive";
+  { ring = Array.make capacity dummy; capacity; total = 0 }
+
+let emit t ~at ~stall kind =
+  t.ring.(t.total mod t.capacity) <- { at; stall; kind };
+  t.total <- t.total + 1
+
+let length t = min t.total t.capacity
+let capacity t = t.capacity
+let dropped t = max 0 (t.total - t.capacity)
+let clear t = t.total <- 0
+
+(* Oldest first.  When the ring has wrapped, the oldest surviving event
+   sits at the write cursor. *)
+let events t =
+  let n = length t in
+  let first = if t.total > t.capacity then t.total mod t.capacity else 0 in
+  List.init n (fun i -> t.ring.((first + i) mod t.capacity))
+
+(* --- rendering --- *)
+
+let kind_name = function
+  | Kernel_enter _ -> "kernel_enter"
+  | Kernel_exit _ -> "kernel_exit"
+  | Preempt_point _ -> "preempt_point"
+  | Sched_decision _ -> "sched_decision"
+  | Irq_assert _ -> "irq_assert"
+  | Irq_armed _ -> "irq_armed"
+  | Irq_deliver _ -> "irq_deliver"
+  | Ep_enqueue _ -> "ep_enqueue"
+  | Ep_dequeue _ -> "ep_dequeue"
+  | Untyped_clear _ -> "untyped_clear"
+  | Vspace_unmap _ -> "vspace_unmap"
+  | Pin_evict _ -> "pin_evict"
+  | Marker _ -> "marker"
+
+let pp_kind ppf = function
+  | Kernel_enter { event } -> Fmt.pf ppf "enter %s" event
+  | Kernel_exit { outcome } -> Fmt.pf ppf "exit %s" outcome
+  | Preempt_point { taken } ->
+      Fmt.pf ppf "preempt-point %s" (if taken then "taken" else "not-taken")
+  | Sched_decision { tcb; priority } ->
+      Fmt.pf ppf "sched-decision tcb%d prio=%d" tcb priority
+  | Irq_assert { line } -> Fmt.pf ppf "irq%d asserted" line
+  | Irq_armed { line; fire_at } -> Fmt.pf ppf "irq%d armed for cycle %d" line fire_at
+  | Irq_deliver { line; latency } ->
+      Fmt.pf ppf "irq%d delivered (latency %d)" line latency
+  | Ep_enqueue { ep; tcb } -> Fmt.pf ppf "ep%d enqueue tcb%d" ep tcb
+  | Ep_dequeue { ep; tcb } -> Fmt.pf ppf "ep%d dequeue tcb%d" ep tcb
+  | Untyped_clear { addr; bytes } ->
+      Fmt.pf ppf "untyped-clear %#x +%d bytes" addr bytes
+  | Vspace_unmap { addr } -> Fmt.pf ppf "vspace-unmap %#x" addr
+  | Pin_evict { cache; addr } -> Fmt.pf ppf "pin-evict %s %#x" cache addr
+  | Marker m -> Fmt.pf ppf "marker %s" m
+
+let pp_event ppf e = Fmt.pf ppf "@%d(stall %d) %a" e.at e.stall pp_kind e.kind
+
+(* Human-readable timeline: absolute cycle, delta to the previous event,
+   cumulative stall, event. *)
+let pp_timeline ppf t =
+  if dropped t > 0 then
+    Fmt.pf ppf "(ring wrapped: %d oldest events dropped)@," (dropped t);
+  Fmt.pf ppf "%10s %9s %10s  %s@," "cycle" "+delta" "stall" "event";
+  let prev = ref None in
+  List.iter
+    (fun e ->
+      let delta = match !prev with None -> 0 | Some p -> e.at - p in
+      prev := Some e.at;
+      Fmt.pf ppf "%10d %9s %10d  %a@," e.at
+        (if delta = 0 then "" else Fmt.str "+%d" delta)
+        e.stall pp_kind e.kind)
+    (events t)
+
+(* --- Chrome trace_event export (Perfetto-loadable) ---
+
+   Kernel entries/exits become duration events (ph B/E); everything else
+   is an instant event (ph i).  Timestamps are microseconds; the caller
+   supplies the simulated clock rate in cycles per microsecond. *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let to_chrome_json ?(cycles_per_us = 1.0) t =
+  let buf = Buffer.create 4096 in
+  let addf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let ts cycles = float_of_int cycles /. cycles_per_us in
+  addf "{\"traceEvents\": [\n";
+  addf
+    "  {\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 1, \"tid\": 1, \
+     \"args\": {\"name\": \"sel4rt simulator\"}}";
+  let common name ph at =
+    addf ",\n  {\"name\": \"%s\", \"ph\": \"%s\", \"ts\": %.3f, \"pid\": 1, \
+          \"tid\": 1" (json_escape name) ph (ts at)
+  in
+  let args_close pairs stall =
+    addf ", \"args\": {";
+    List.iter (fun (k, v) -> addf "\"%s\": %s, " k v) pairs;
+    addf "\"stall_cycles\": %d}}" stall
+  in
+  List.iter
+    (fun e ->
+      match e.kind with
+      | Kernel_enter { event } ->
+          common ("kernel: " ^ event) "B" e.at;
+          args_close [ ("cycle", string_of_int e.at) ] e.stall
+      | Kernel_exit { outcome } ->
+          common ("kernel: " ^ outcome) "E" e.at;
+          args_close [ ("outcome", "\"" ^ json_escape outcome ^ "\"") ] e.stall
+      | kind ->
+          common (kind_name kind) "i" e.at;
+          addf ", \"s\": \"t\"";
+          let pairs =
+            match kind with
+            | Preempt_point { taken } ->
+                [ ("taken", if taken then "true" else "false") ]
+            | Sched_decision { tcb; priority } ->
+                [ ("tcb", string_of_int tcb); ("priority", string_of_int priority) ]
+            | Irq_assert { line } -> [ ("line", string_of_int line) ]
+            | Irq_armed { line; fire_at } ->
+                [ ("line", string_of_int line); ("fire_at", string_of_int fire_at) ]
+            | Irq_deliver { line; latency } ->
+                [ ("line", string_of_int line); ("latency", string_of_int latency) ]
+            | Ep_enqueue { ep; tcb } | Ep_dequeue { ep; tcb } ->
+                [ ("ep", string_of_int ep); ("tcb", string_of_int tcb) ]
+            | Untyped_clear { addr; bytes } ->
+                [ ("addr", string_of_int addr); ("bytes", string_of_int bytes) ]
+            | Vspace_unmap { addr } -> [ ("addr", string_of_int addr) ]
+            | Pin_evict { cache; addr } ->
+                [ ("cache", "\"" ^ json_escape cache ^ "\"");
+                  ("addr", string_of_int addr) ]
+            | Marker m -> [ ("marker", "\"" ^ json_escape m ^ "\"") ]
+            | Kernel_enter _ | Kernel_exit _ -> []
+          in
+          args_close (("cycle", string_of_int e.at) :: pairs) e.stall)
+    (events t);
+  addf "\n], \"displayTimeUnit\": \"ns\", \"otherData\": {\"dropped_events\": %d}}\n"
+    (dropped t);
+  Buffer.contents buf

@@ -101,11 +101,22 @@ type prepared = {
   prep_elapsed_s : float;
 }
 
+(* Per-stage wall-time spans for the metrics registry (bench --json,
+   sel4rt metrics).  Wall time never feeds the event tracer. *)
+let span_prepare = Obs.Metrics.histogram "ipet.prepare"
+let span_cache = Obs.Metrics.histogram "ipet.cache_analysis"
+let span_build = Obs.Metrics.histogram "ipet.ilp_build"
+let span_solve = Obs.Metrics.histogram "ipet.ilp_solve"
+
 let prepare ~config ?(pinned_code = []) ?(pinned_data = []) (spec : spec) =
+  Obs.Metrics.span span_prepare @@ fun () ->
   let started = Clock.now_s () in
   let inlined = Cfg.Inline.inline spec.program in
   let fn = inlined.Cfg.Inline.fn in
-  let costs = Cache_analysis.analyse ~config ~pinned_code ~pinned_data fn in
+  let costs =
+    Obs.Metrics.span span_cache (fun () ->
+        Cache_analysis.analyse ~config ~pinned_code ~pinned_data fn)
+  in
   let loops = Cfg.Loops.compute fn in
   let preds = Cfg.Flowgraph.preds fn in
   let contexts = compute_contexts inlined spec.program in
@@ -283,7 +294,11 @@ let analyse_prepared ?(use_constraints = true)
     (Array.to_list
        (Array.mapi (fun b v -> ((Cache_analysis.cost costs b).cycles, v)) x));
   let stats = { Ilp.Branch_bound.nodes = 0; lp_solves = 0 } in
-  match Ilp.Branch_bound.solve ?warm_start ~stats problem with
+  Obs.Metrics.observe span_build (Clock.elapsed_s ~since:started);
+  let solve_started = Clock.now_s () in
+  let solved = Ilp.Branch_bound.solve ?warm_start ~stats problem in
+  Obs.Metrics.observe span_solve (Clock.elapsed_s ~since:solve_started);
+  match solved with
   | Ilp.Branch_bound.Optimal { objective; values } ->
       {
         wcet = objective;

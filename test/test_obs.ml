@@ -1,0 +1,405 @@
+(* Tests of the observability layer: ring-buffer semantics, trace
+   determinism (identical event streams run after run and across
+   serial/parallel execution), zero overhead (observed cycle counts
+   bit-identical with tracing on or off), latency attribution, metrics
+   registry behaviour, and validity of the emitted JSON. *)
+
+module T = Obs.Trace
+module M = Obs.Metrics
+module A = Obs.Attrib
+module W = Sel4_rt.Workloads
+module KM = Sel4_rt.Kernel_model
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+(* --- a minimal JSON syntax checker (no JSON library available) --- *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of json list
+  | Obj of (string * json) list
+
+exception Bad_json of string
+
+let parse_json (s : string) : json =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let fail msg = raise (Bad_json (Printf.sprintf "%s at offset %d" msg !pos)) in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        advance ();
+        skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected %c" c)
+  in
+  let literal word v =
+    String.iter expect word;
+    v
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | Some '"' -> advance ()
+      | Some '\\' ->
+          advance ();
+          (match peek () with
+          | Some ('"' | '\\' | '/' | 'b' | 'f' | 'n' | 'r' | 't') -> advance ()
+          | Some 'u' ->
+              advance ();
+              for _ = 1 to 4 do
+                match peek () with
+                | Some ('0' .. '9' | 'a' .. 'f' | 'A' .. 'F') -> advance ()
+                | _ -> fail "bad \\u escape"
+              done
+          | _ -> fail "bad escape");
+          Buffer.add_char b '?';
+          go ()
+      | Some c ->
+          advance ();
+          Buffer.add_char b c;
+          go ()
+      | None -> fail "unterminated string"
+    in
+    go ();
+    Buffer.contents b
+  in
+  let parse_number () =
+    let start = !pos in
+    let num_char = function
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while (match peek () with Some c -> num_char c | None -> false) do
+      advance ()
+    done;
+    match float_of_string_opt (String.sub s start (!pos - start)) with
+    | Some f -> f
+    | None -> fail "bad number"
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then begin
+          advance ();
+          Obj []
+        end
+        else begin
+          let rec members acc =
+            skip_ws ();
+            let key = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                members ((key, v) :: acc)
+            | Some '}' ->
+                advance ();
+                List.rev ((key, v) :: acc)
+            | _ -> fail "expected , or }"
+          in
+          Obj (members [])
+        end
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then begin
+          advance ();
+          Arr []
+        end
+        else begin
+          let rec elems acc =
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                elems (v :: acc)
+            | Some ']' ->
+                advance ();
+                List.rev (v :: acc)
+            | _ -> fail "expected , or ]"
+          in
+          Arr (elems [])
+        end
+    | Some '"' -> Str (parse_string ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some _ -> Num (parse_number ())
+    | None -> fail "empty input"
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing garbage";
+  v
+
+let member key = function
+  | Obj kvs -> List.assoc_opt key kvs
+  | _ -> None
+
+(* --- ring buffer --- *)
+
+let test_ring () =
+  let t = T.create ~capacity:4 () in
+  check_int "capacity" 4 (T.capacity t);
+  for i = 1 to 6 do
+    T.emit t ~at:(i * 10) ~stall:i (T.Marker (string_of_int i))
+  done;
+  check_int "length" 4 (T.length t);
+  check_int "dropped" 2 (T.dropped t);
+  let marks =
+    List.map
+      (fun (e : T.event) ->
+        match e.T.kind with T.Marker m -> m | _ -> "?")
+      (T.events t)
+  in
+  Alcotest.(check (list string)) "oldest first" [ "3"; "4"; "5"; "6" ] marks;
+  T.clear t;
+  check_int "cleared" 0 (T.length t);
+  check_int "cleared dropped" 0 (T.dropped t)
+
+(* --- trace determinism: same scenario, same seed => same events --- *)
+
+let trace_of ~seed entry =
+  let buf = T.create () in
+  let outcome, cycles =
+    W.run_traced ~config:Hw.Config.default ~buf ~seed Sel4.Build.improved entry
+  in
+  (match outcome with
+  | Sel4.Kernel.Failed e -> Alcotest.fail ("scenario failed: " ^ e)
+  | _ -> ());
+  (cycles, T.events buf)
+
+let test_determinism () =
+  List.iter
+    (fun entry ->
+      let c1, e1 = trace_of ~seed:3 entry in
+      let c2, e2 = trace_of ~seed:3 entry in
+      check_int (KM.entry_name entry ^ ": cycles repeat") c1 c2;
+      check_int
+        (KM.entry_name entry ^ ": event count repeats")
+        (List.length e1) (List.length e2);
+      check_bool (KM.entry_name entry ^ ": event streams identical") true
+        (e1 = e2))
+    [ KM.Syscall; KM.Interrupt ]
+
+let test_serial_parallel () =
+  let with_serial b f =
+    Sel4_rt.Parallel.set_serial b;
+    Fun.protect ~finally:(fun () -> Sel4_rt.Parallel.set_serial false) f
+  in
+  let measure () =
+    W.observed_traced ~runs:3 ~config:Hw.Config.default Sel4.Build.improved
+      KM.Interrupt
+  in
+  let w_serial, p_serial = with_serial true measure in
+  let w_par, p_par = with_serial false measure in
+  check_int "worst identical" w_serial w_par;
+  check_bool "provenance identical" true (p_serial = p_par)
+
+(* --- zero overhead: tracing must not change observed cycle counts --- *)
+
+let test_zero_overhead () =
+  List.iter
+    (fun entry ->
+      let plain =
+        W.observed ~runs:4 ~config:Hw.Config.default Sel4.Build.improved entry
+      in
+      let traced, prov =
+        W.observed_traced ~runs:4 ~config:Hw.Config.default Sel4.Build.improved
+          entry
+      in
+      check_int (KM.entry_name entry ^ ": observed unchanged") plain traced;
+      check_bool
+        (KM.entry_name entry ^ ": provenance names the workload")
+        true
+        (prov.W.workload = KM.entry_name entry))
+    [ KM.Syscall; KM.Interrupt; KM.Page_fault ]
+
+(* --- latency attribution on synthetic traces --- *)
+
+let ev at stall kind = { T.at; stall; kind }
+
+let test_attribution_irq () =
+  let events =
+    [
+      ev 100 0 (T.Kernel_enter { event = "retype" });
+      ev 150 12 (T.Preempt_point { taken = true });
+      ev 160 15 (T.Irq_deliver { line = 5; latency = 60 });
+      ev 200 20 (T.Kernel_exit { outcome = "preempted" });
+    ]
+  in
+  match A.irq_breakdowns events with
+  | [ bd ] ->
+      check_int "line" 5 bd.A.line;
+      check_int "asserted_at" 100 bd.A.asserted_at;
+      check_int "delivered_at" 160 bd.A.delivered_at;
+      check_string "section" "retype" bd.A.section;
+      (match bd.A.cycles_to_preempt with
+      | Some c -> check_int "cycles_to_preempt" 50 c
+      | None -> Alcotest.fail "expected a preemption point");
+      check_int "stall" 15 bd.A.stall_cycles;
+      check_int "compute" 45 bd.A.compute_cycles;
+      check_int "stall+compute=latency" bd.A.latency
+        (bd.A.stall_cycles + bd.A.compute_cycles)
+  | l -> Alcotest.failf "expected 1 breakdown, got %d" (List.length l)
+
+let test_attribution_section () =
+  let events =
+    [
+      ev 0 0 (T.Kernel_enter { event = "delete" });
+      ev 100 30 (T.Preempt_point { taken = false });
+      ev 150 40 (T.Preempt_point { taken = false });
+      ev 400 90 (T.Kernel_exit { outcome = "completed" });
+    ]
+  in
+  match A.longest_nonpreemptible events with
+  | Some sec ->
+      check_string "label" "delete" sec.A.sec_label;
+      check_int "cycles" 250 sec.A.sec_cycles;
+      check_int "stall" 50 sec.A.sec_stall
+  | None -> Alcotest.fail "expected a section"
+
+let test_attribution_real_interrupt () =
+  let buf = T.create () in
+  let _ =
+    W.run_traced ~config:Hw.Config.default ~buf ~seed:2 Sel4.Build.improved
+      KM.Interrupt
+  in
+  match A.irq_breakdowns (T.events buf) with
+  | [] -> Alcotest.fail "interrupt run must record a delivery"
+  | bds ->
+      List.iter
+        (fun (bd : A.irq_breakdown) ->
+          check_bool "latency positive" true (bd.A.latency > 0);
+          check_int "split adds up" bd.A.latency
+            (bd.A.stall_cycles + bd.A.compute_cycles);
+          check_int "assert/deliver consistent" bd.A.latency
+            (bd.A.delivered_at - bd.A.asserted_at))
+        bds
+
+(* --- Chrome trace_event export --- *)
+
+let test_chrome_json () =
+  let buf = T.create () in
+  let _ =
+    W.run_traced ~config:Hw.Config.default ~buf ~seed:1 Sel4.Build.improved
+      KM.Syscall
+  in
+  check_bool "trace non-empty" true (T.length buf > 0);
+  let json = T.to_chrome_json ~cycles_per_us:532.0 buf in
+  let v = try parse_json json with Bad_json m -> Alcotest.fail m in
+  match member "traceEvents" v with
+  | Some (Arr evs) ->
+      check_bool "has events" true (List.length evs > 1);
+      List.iter
+        (fun e ->
+          match (member "ph" e, member "pid" e) with
+          | Some (Str _), Some (Num _) -> ()
+          | _ -> Alcotest.fail "event missing ph/pid")
+        evs
+  | _ -> Alcotest.fail "no traceEvents array"
+
+(* --- metrics registry --- *)
+
+let test_metrics_counters () =
+  let c = M.counter "test.counter" in
+  M.set_counter c 0;
+  M.incr c;
+  M.incr ~by:41 c;
+  check_int "counter value" 42 (M.value c);
+  check_bool "interned" true (M.counter "test.counter" == c);
+  let g = M.gauge "test.gauge" in
+  M.set_gauge g 2.5;
+  let h = M.histogram "test.hist" in
+  M.observe h 3.0;
+  M.observe h 5.0;
+  M.observe h 1000.0;
+  let s = M.snapshot () in
+  check_bool "counter in snapshot" true
+    (List.mem_assoc "test.counter" s.M.s_counters);
+  check_bool "gauge in snapshot" true (List.mem_assoc "test.gauge" s.M.s_gauges);
+  (match List.assoc_opt "test.hist" s.M.s_histograms with
+  | Some hs ->
+      check_int "hist count" 3 hs.M.hs_count;
+      check_bool "hist max" true (hs.M.hs_max = 1000.0);
+      (* 3.0 -> bucket 2 (2^1,2^2]; 5.0 -> bucket 3; 1000.0 -> bucket 10 *)
+      Alcotest.(check (list (pair int int)))
+        "buckets"
+        [ (2, 1); (3, 1); (10, 1) ]
+        hs.M.hs_buckets
+  | None -> Alcotest.fail "histogram missing");
+  let names = List.map fst s.M.s_counters in
+  check_bool "counters sorted" true (names = List.sort compare names)
+
+let test_metrics_json () =
+  let c = M.counter "test.json_counter" in
+  M.incr c;
+  let json = M.to_json (M.snapshot ()) in
+  let v = try parse_json json with Bad_json m -> Alcotest.fail m in
+  match member "counters" v with
+  | Some (Obj kvs) ->
+      check_bool "counter present" true (List.mem_assoc "test.json_counter" kvs)
+  | _ -> Alcotest.fail "no counters object"
+
+let test_metrics_span_and_reset () =
+  let h = M.histogram "test.span" in
+  let r = M.span h (fun () -> 7) in
+  check_int "span returns" 7 r;
+  (match List.assoc_opt "test.span" (M.snapshot ()).M.s_histograms with
+  | Some hs -> check_bool "span observed" true (hs.M.hs_count >= 1)
+  | None -> Alcotest.fail "span histogram missing");
+  M.reset ();
+  let s = M.snapshot () in
+  check_bool "counters zeroed" true
+    (List.for_all (fun (_, v) -> v = 0) s.M.s_counters);
+  check_bool "histograms zeroed" true
+    (List.for_all (fun (_, h) -> h.M.hs_count = 0) s.M.s_histograms)
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "trace",
+        [
+          Alcotest.test_case "ring buffer" `Quick test_ring;
+          Alcotest.test_case "deterministic streams" `Slow test_determinism;
+          Alcotest.test_case "serial equals parallel" `Slow test_serial_parallel;
+          Alcotest.test_case "zero overhead" `Slow test_zero_overhead;
+          Alcotest.test_case "chrome json" `Slow test_chrome_json;
+        ] );
+      ( "attrib",
+        [
+          Alcotest.test_case "irq breakdown" `Quick test_attribution_irq;
+          Alcotest.test_case "longest section" `Quick test_attribution_section;
+          Alcotest.test_case "real interrupt" `Slow
+            test_attribution_real_interrupt;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "counters and histograms" `Quick
+            test_metrics_counters;
+          Alcotest.test_case "json dump" `Quick test_metrics_json;
+          Alcotest.test_case "span and reset" `Quick
+            test_metrics_span_and_reset;
+        ] );
+    ]
