@@ -17,6 +17,7 @@
      sched    Sections 3.1-3.2 - scheduler ablation (lazy/Benno/bitmap)
      loopbounds Section 5.3   - automatically computed loop bounds
      analysis Section 6.3     - ILP sizes, solver effort, constraint effect
+     constraints Section 5.2  - WCET under manual vs derived constraints
      summary  Section 6       - headline numbers
      micro    Bechamel microbenchmarks of the core data structures *)
 
@@ -36,6 +37,9 @@ let run_fig9 () = Sel4_rt.Experiments.(print_fig9 (fig9 ()))
 let run_sched () = Sel4_rt.Experiments.(print_sched (sched_ablation ()))
 let run_loopbounds () = Sel4_rt.Experiments.(print_loop_bounds (loop_bounds ()))
 let run_analysis () = Sel4_rt.Experiments.(print_analysis_cost (analysis_cost ()))
+
+let run_constraints () =
+  Sel4_rt.Experiments.(print_constraint_modes (constraint_modes ()))
 let run_summary () = Sel4_rt.Experiments.(print_summary (summary ()))
 let run_l2lock () = Sel4_rt.Experiments.(print_l2_lock (l2_lock ()))
 let run_callpreempt () = Sel4_rt.Experiments.(print_call_preempt (call_preempt ()))
@@ -140,6 +144,7 @@ let sections =
     ("sched", run_sched);
     ("loopbounds", run_loopbounds);
     ("analysis", run_analysis);
+    ("constraints", run_constraints);
     ("summary", run_summary);
     ("l2lock", run_l2lock);
     ("callpreempt", run_callpreempt);
@@ -226,7 +231,7 @@ let table2_cell_json (c : Sel4_rt.Experiments.table2_cell) =
 
 let write_json ~path ~section_times ~engine_wall_s ~serial_fresh_wall_s
     ~(stats : Sel4_rt.Analysis_cache.stats) ~domains ~requested_domains
-    ~recommended_domains ~warning ~analysis_rows ~table2_rows =
+    ~recommended_domains ~warning ~analysis_rows ~constraint_rows ~table2_rows =
   let buf = Buffer.create 2048 in
   let addf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   let f v = Printf.sprintf "%.6f" v in
@@ -283,6 +288,26 @@ let write_json ~path ~section_times ~engine_wall_s ~serial_fresh_wall_s
         r.Sel4_rt.Experiments.constrained_wcet
         (if i < List.length analysis_rows - 1 then "," else ""))
     analysis_rows;
+  addf "  ],\n";
+  addf "  \"constraints\": [\n";
+  List.iteri
+    (fun i (r : Sel4_rt.Experiments.constraint_mode_row) ->
+      addf
+        "    {\"entry\": \"%s\", \"unconstrained\": %d, \"manual\": %d, \
+         \"derived\": %d, \"combined\": %d, \"wcet_delta\": %d, \
+         \"n_manual\": %d, \"n_derived\": %d, \"proved\": %d, \
+         \"refuted\": %d, \"unknown\": %d}%s\n"
+        (json_escape
+           (Sel4_rt.Kernel_model.entry_name r.Sel4_rt.Experiments.cm_entry))
+        r.Sel4_rt.Experiments.cm_unconstrained r.Sel4_rt.Experiments.cm_manual
+        r.Sel4_rt.Experiments.cm_derived r.Sel4_rt.Experiments.cm_combined
+        (r.Sel4_rt.Experiments.cm_unconstrained
+        - r.Sel4_rt.Experiments.cm_combined)
+        r.Sel4_rt.Experiments.cm_n_manual r.Sel4_rt.Experiments.cm_n_derived
+        r.Sel4_rt.Experiments.cm_proved r.Sel4_rt.Experiments.cm_refuted
+        r.Sel4_rt.Experiments.cm_unknown
+        (if i < List.length constraint_rows - 1 then "," else ""))
+    constraint_rows;
   addf "  ]\n}\n";
   let oc = open_out path in
   output_string oc (Buffer.contents buf);
@@ -337,6 +362,7 @@ let () =
     let recommended_domains = Domain.recommended_domain_count () in
     (* The ILP-size rows are cached by now, so this re-query is free. *)
     let analysis_rows = Sel4_rt.Experiments.analysis_cost () in
+    let constraint_rows = Sel4_rt.Experiments.constraint_modes () in
     (* Serial fresh baseline: same sections, one domain, no memoisation. *)
     Sel4_rt.Parallel.set_serial true;
     Sel4_rt.Analysis_cache.set_enabled false;
@@ -357,7 +383,7 @@ let () =
     let path = "BENCH_wcet.json" in
     write_json ~path ~section_times ~engine_wall_s ~serial_fresh_wall_s ~stats
       ~domains ~requested_domains ~recommended_domains ~warning ~analysis_rows
-      ~table2_rows:!table2_rows;
+      ~constraint_rows ~table2_rows:!table2_rows;
     Fmt.pr "@.engine: %.3fs  serial fresh: %.3fs  speedup: %.1fx  cache hit \
             rate: %.0f%%  (%s)@."
       engine_wall_s serial_fresh_wall_s

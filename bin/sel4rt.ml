@@ -144,6 +144,9 @@ let repro_cmd =
         fun () -> Sel4_rt.Experiments.(print_loop_bounds (loop_bounds ())) );
       ( "analysis",
         fun () -> Sel4_rt.Experiments.(print_analysis_cost (analysis_cost ())) );
+      ( "constraints",
+        fun () ->
+          Sel4_rt.Experiments.(print_constraint_modes (constraint_modes ())) );
       ("summary", fun () -> Sel4_rt.Experiments.(print_summary (summary ())));
       ("l2lock", fun () -> Sel4_rt.Experiments.(print_l2_lock (l2_lock ())));
     ]
@@ -168,6 +171,54 @@ let repro_cmd =
     Term.(
       const run
       $ Arg.(value & pos_all string [] & info [] ~docv:"SECTION"))
+
+let constraints_cmd =
+  let main_of = function
+    | "syscall" -> Ok "syscall"
+    | "interrupt" | "irq" -> Ok "interrupt"
+    | "fault" | "pagefault" | "page_fault" -> Ok "page_fault"
+    | "undefined" | "undef" -> Ok "undef"
+    | s -> Error s
+  in
+  let run func =
+    let mains =
+      match func with
+      | Some f -> (
+          match main_of f with
+          | Ok m -> [ m ]
+          | Error s ->
+              Fmt.epr
+                "unknown entry function %S (syscall, interrupt, fault, \
+                 undefined)@."
+                s;
+              exit 1)
+      | None ->
+          List.map Sel4_rt.Kernel_model.entry_main
+            Sel4_rt.Kernel_model.entry_points
+    in
+    List.iter
+      (fun main ->
+        Fmt.pr "==== %s ====@." main;
+        let report = Sel4_rt.Kernel_model.constraint_report ~main () in
+        Fmt.pr "%a@." Wcet.Derive_constraints.pp_report report)
+      mains
+  in
+  let func_arg =
+    Arg.(
+      value
+      & pos 0 (some string) None
+      & info [] ~docv:"FUNC"
+          ~doc:
+            "Entry function to audit: syscall, interrupt, fault or \
+             undefined.  Default: all of them.")
+  in
+  Cmd.v
+    (Cmd.info "constraints"
+       ~doc:
+         "Derive the Section 5.2 infeasible-path constraints from the TAC \
+          decision models and audit every manual constraint \
+          (proved/refuted/unknown, with evidence).")
+    Term.(const run $ func_arg)
 
 let loops_cmd =
   let run () =
@@ -371,6 +422,7 @@ let () =
             observe_cmd;
             response_cmd;
             repro_cmd;
+            constraints_cmd;
             loops_cmd;
             pins_cmd;
             trace_cmd;

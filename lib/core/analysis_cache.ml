@@ -31,6 +31,7 @@ type prefix_key = {
 type result_key = {
   rk_prefix : prefix_key;
   rk_use_constraints : bool;
+  rk_sources : Wcet.Ipet.sources;
   rk_forced : (string * string * int) list;
 }
 
@@ -141,20 +142,30 @@ let prepared key =
         (Kernel_model.spec ~params:key.pk_params key.pk_build key.pk_entry))
 
 (* A cached solution of a *more* constrained sibling (same prefix and
-   forced counts, manual constraints on) remains feasible for the
-   unconstrained variant and warm-starts its branch-and-bound. *)
+   forced counts) remains feasible for a less constrained variant and
+   warm-starts its branch-and-bound: the full constraint set ([`All])
+   warm-starts the unconstrained baseline and the single-source
+   ([`Manual] / [`Derived]) variants alike. *)
 let warm_start_for rkey =
-  if rkey.rk_use_constraints then None
-  else
-    match
-      Hashtbl.find_opt results { rkey with rk_use_constraints = true }
-    with
+  let find k =
+    match Hashtbl.find_opt results k with
     | Some (Ready (Ok r)) -> Some r.Wcet.Ipet.ilp_solution
     | _ -> None
+  in
+  if not rkey.rk_use_constraints then
+    find { rkey with rk_use_constraints = true; rk_sources = `All }
+  else
+    match rkey.rk_sources with
+    | `All -> None
+    | `Manual | `Derived -> find { rkey with rk_sources = `All }
 
 let computed ?(params = Kernel_model.default_params) ?(pinned_code = [])
     ?(pinned_data = []) ?(use_constraints = true)
+    ?(sources : Wcet.Ipet.sources = `All)
     ?(forced = ([] : (string * string * int) list)) ~config build entry =
+  (* With constraints off the sources selector is inert; normalise it so
+     the baseline occupies one cache slot instead of three. *)
+  let sources = if use_constraints then sources else `All in
   let pkey =
     {
       pk_build = build;
@@ -166,12 +177,17 @@ let computed ?(params = Kernel_model.default_params) ?(pinned_code = [])
     }
   in
   if not (Atomic.get enabled) then
-    Wcet.Ipet.analyse_prepared ~use_constraints ~forced
+    Wcet.Ipet.analyse_prepared ~use_constraints ~sources ~forced
       (Wcet.Ipet.prepare ~config ~pinned_code ~pinned_data
          (Kernel_model.spec ~params build entry))
   else begin
     let rkey =
-      { rk_prefix = pkey; rk_use_constraints = use_constraints; rk_forced = forced }
+      {
+        rk_prefix = pkey;
+        rk_use_constraints = use_constraints;
+        rk_sources = sources;
+        rk_forced = forced;
+      }
     in
     memo results result_hits result_misses rkey (fun () ->
         let prefix = prepared pkey in
@@ -181,11 +197,12 @@ let computed ?(params = Kernel_model.default_params) ?(pinned_code = [])
           Mutex.unlock lock;
           w
         in
-        Wcet.Ipet.analyse_prepared ~use_constraints ~forced ?warm_start prefix)
+        Wcet.Ipet.analyse_prepared ~use_constraints ~sources ~forced
+          ?warm_start prefix)
   end
 
-let computed_cycles ?params ?pinned_code ?pinned_data ?use_constraints ?forced
-    ~config build entry =
-  (computed ?params ?pinned_code ?pinned_data ?use_constraints ?forced ~config
-     build entry)
+let computed_cycles ?params ?pinned_code ?pinned_data ?use_constraints ?sources
+    ?forced ~config build entry =
+  (computed ?params ?pinned_code ?pinned_data ?use_constraints ?sources ?forced
+     ~config build entry)
     .Wcet.Ipet.wcet

@@ -16,21 +16,24 @@ val computed :
   ?pinned_code:int list ->
   ?pinned_data:int list ->
   ?use_constraints:bool ->
+  ?sources:Wcet.Ipet.sources ->
   ?forced:(string * string * int) list ->
   config:Hw.Config.t ->
   Sel4.Build.t ->
   Kernel_model.entry_point ->
   Wcet.Ipet.result
 (** Memoised [Kernel_model.spec |> Wcet.Ipet.analyse].
-    [use_constraints:false] drops the spec's manual constraints (and, when
-    the constrained sibling is already cached, warm-starts from its
-    solution). *)
+    [use_constraints:false] drops every user constraint; [sources]
+    selects manual-only / derived-only / all constraint rows when they
+    are on (default [`All]).  Less constrained variants warm-start from
+    an already-cached [`All] sibling's solution. *)
 
 val computed_cycles :
   ?params:Kernel_model.params ->
   ?pinned_code:int list ->
   ?pinned_data:int list ->
   ?use_constraints:bool ->
+  ?sources:Wcet.Ipet.sources ->
   ?forced:(string * string * int) list ->
   config:Hw.Config.t ->
   Sel4.Build.t ->

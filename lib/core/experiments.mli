@@ -102,6 +102,24 @@ type analysis_cost_row = {
 val analysis_cost : unit -> analysis_cost_row list
 val print_analysis_cost : analysis_cost_row list -> unit
 
+(** {1 Manual vs derived constraints (the Section 5.2 audit)} *)
+
+type constraint_mode_row = {
+  cm_entry : Kernel_model.entry_point;
+  cm_unconstrained : int;  (** WCET, every user constraint dropped *)
+  cm_manual : int;  (** WCET under the hand-written Section 5.2 set *)
+  cm_derived : int;  (** WCET under the mechanically derived set only *)
+  cm_combined : int;  (** WCET under manual + non-duplicate derived *)
+  cm_n_manual : int;
+  cm_n_derived : int;
+  cm_proved : int;  (** manual constraints subsumed by a derivation *)
+  cm_refuted : int;  (** manual constraints with a concrete counterexample *)
+  cm_unknown : int;
+}
+
+val constraint_modes : unit -> constraint_mode_row list
+val print_constraint_modes : constraint_mode_row list -> unit
+
 (** {1 Section 8 extension — kernel text locked into the L2} *)
 
 type l2lock_row = {

@@ -30,17 +30,28 @@ val badge_scan_loop : max_waiters:int -> loop_spec
     trip count is carried through loads, so only the slice + model-check
     pipeline can bound it. *)
 
-type method_used = Counter_analysis | Model_checking | Annotation_only
+type method_used =
+  | Counter_analysis
+  | Model_checking
+  | Abstract_interpretation
+  | Annotation_only
 
 type result = {
   spec : loop_spec;
   computed : int option;
   method_used : method_used;
+  absint_bound : int option;
+      (** the {!Tac.Absint} induction-variable bound (header visits per
+          entry), computed independently as a cross-check; [None] where
+          the abstract interpreter abstains (memory-carried counts) *)
   slice_stats : Tac.Slice.stats option;
 }
 
 val compute_bound : loop_spec -> result
-(** Counter analysis first, then slice + model-check, then give up. *)
+(** Counter analysis first, then slice + model-check, then give up.  The
+    abstract-interpretation bound is always computed alongside; it
+    replaces the primary result when tighter, and becomes the method of
+    record when every other method fails. *)
 
 val catalogue : max_frame_bytes:int -> chunk:int -> result list
 val pp_method : method_used Fmt.t

@@ -654,6 +654,12 @@ let entry_name = function
   | Page_fault -> "Page fault"
   | Undefined_instruction -> "Undefined instruction"
 
+let entry_main = function
+  | Syscall -> "syscall"
+  | Interrupt -> "interrupt"
+  | Page_fault -> "page_fault"
+  | Undefined_instruction -> "undef"
+
 let shared_functions build =
   let lookup, _ = lookup_fn () in
   let msgcopy, _ = msgcopy_fn () in
@@ -739,19 +745,101 @@ let constraints (p : params) ~main =
       Wcet.User_constraint.consistent ~func:"syscall" "sp_t1_ep" "sp_t2_ep";
     ]
 
+(* --- Section 5.2 decision models --- *)
+
+(* The delivery path switches on the transferred capability's type twice
+   (the Figure 6 duplicated-switch pattern), once per transfer leg.
+   Re-expressed as a TAC decision model over the run-constant [captype],
+   the abstract interpreter proves the two switches consistent and the
+   cross arms mutually exclusive. *)
+let delivery_model : Wcet.Derive_constraints.model =
+  let open Tac.Lang in
+  let b label instrs term = { label; instrs; term } in
+  {
+    dm_name = "delivery";
+    dm_func = "syscall";
+    dm_program =
+      {
+        entry = "entry";
+        params = [ { name = "captype"; lo = 0; hi = 1 } ];
+        blocks =
+          [
+            b "entry" [] (Jump "t1");
+            b "t1" []
+              (Branch (Eq, Reg "captype", Imm 0, "t1_frame", "t1_ep"));
+            b "t1_frame" [] (Jump "m1");
+            b "t1_ep" [] (Jump "m1");
+            b "m1" [] (Jump "t2");
+            b "t2" []
+              (Branch (Eq, Reg "captype", Imm 0, "t2_frame", "t2_ep"));
+            b "t2_frame" [] (Jump "m2");
+            b "t2_ep" [] (Jump "m2");
+            b "m2" [] Halt;
+          ];
+      };
+    dm_labels =
+      [
+        ("t1_frame", "sp_t1_frame");
+        ("t1_ep", "sp_t1_ep");
+        ("t2_frame", "sp_t2_frame");
+        ("t2_ep", "sp_t2_ep");
+      ];
+    dm_calls_bound = 1;
+  }
+
+(* The lazy scheduler pops at most [max_parked] stale threads before it
+   finds a runnable one: the stale arm sits in a loop whose trip count
+   is the parked population, which the interval analysis bounds. *)
+let stale_model (p : params) : Wcet.Derive_constraints.model =
+  let open Tac.Lang in
+  let b label instrs term = { label; instrs; term } in
+  {
+    dm_name = "stale";
+    dm_func = "choose";
+    dm_program =
+      {
+        entry = "entry";
+        params = [ { name = "parked"; lo = 0; hi = p.max_parked } ];
+        blocks =
+          [
+            b "entry" [ Assign ("i", Imm 0) ] (Jump "head");
+            b "head" []
+              (Branch (Lt, Reg "i", Reg "parked", "stale", "done"));
+            b "stale" [ Binop ("i", Add, Reg "i", Imm 1) ] (Jump "head");
+            b "done" [] Halt;
+          ];
+      };
+    dm_labels = [ ("stale", "ch_stale") ];
+    dm_calls_bound = 1;
+  }
+
+let decision_models (p : params) ~main =
+  stale_model p :: (if main = "syscall" then [ delivery_model ] else [])
+
+let constraint_report ?(params = default_params) ~main () =
+  Wcet.Derive_constraints.audit
+    ~models:(decision_models params ~main)
+    ~manual:(constraints params ~main)
+
 let spec ?(params = default_params) (build : Sel4.Build.t) entry =
-  let main, program =
+  let main = entry_main entry in
+  let program =
     match entry with
-    | Syscall -> ("syscall", syscall_program build params)
-    | Interrupt -> ("interrupt", interrupt_program build)
-    | Page_fault -> ("page_fault", fault_program build ~name:"page_fault")
-    | Undefined_instruction -> ("undef", fault_program build ~name:"undef")
+    | Syscall -> syscall_program build params
+    | Interrupt -> interrupt_program build
+    | Page_fault -> fault_program build ~name:"page_fault"
+    | Undefined_instruction -> fault_program build ~name:"undef"
+  in
+  let derived =
+    (Wcet.Derive_constraints.derive (decision_models params ~main))
+      .Wcet.Derive_constraints.rep_derived
   in
   {
     Wcet.Ipet.program =
       { F.funcs = program :: shared_functions build; main };
     bounds = bounds build params ~main;
     constraints = constraints params ~main;
+    derived;
   }
 
 (* The realisable worst-ish path for Figure 8: the block counts our

@@ -28,10 +28,26 @@ type entry_point = Syscall | Interrupt | Page_fault | Undefined_instruction
 val entry_points : entry_point list
 val entry_name : entry_point -> string
 
+val entry_main : entry_point -> string
+(** The CFG function name of the entry's main program (the [~main]
+    argument of {!constraint_report}). *)
+
 val spec : ?params:params -> Sel4.Build.t -> entry_point -> Wcet.Ipet.spec
 (** The complete analysis input: inlinable program, loop bounds (some
-    computed by the {!Kernel_loops} pipeline), and the manual constraints
-    of Section 5.2. *)
+    computed by the {!Kernel_loops} pipeline), the manual constraints of
+    Section 5.2, and the constraints {!Wcet.Derive_constraints} derives
+    from the decision models. *)
+
+val decision_models : params -> main:string -> Wcet.Derive_constraints.model list
+(** The TAC decision models covering the kernel's manual constraints:
+    the lazy-scheduler stale-dequeue loop always, plus the Figure 6
+    delivery-path switch pair when [main] is ["syscall"]. *)
+
+val constraint_report :
+  ?params:params -> main:string -> unit -> Wcet.Derive_constraints.report
+(** Derive constraints from the decision models and audit every manual
+    constraint of [constraints] against them (Proved / Refuted /
+    Unknown, with evidence). *)
 
 val realisable_path : ?params:params -> entry_point -> (string * string * int) list
 (** Block execution counts of the path the adversarial workload actually

@@ -22,8 +22,32 @@ let base_of versioned =
   | Some i -> String.sub versioned 0 i
   | None -> versioned
 
+(* Memoized label->block index, same scheme as Lang.block_exn. *)
+module Index_tbl = Ephemeron.K1.Make (struct
+  type nonrec t = t
+
+  let equal = ( == )
+  let hash = Hashtbl.hash
+end)
+
+let index_lock = Mutex.create ()
+let indexes : (string, ssa_block) Hashtbl.t Index_tbl.t = Index_tbl.create 16
+
+let index_of t =
+  Mutex.protect index_lock (fun () ->
+      match Index_tbl.find_opt indexes t with
+      | Some idx -> idx
+      | None ->
+          let idx = Hashtbl.create (List.length t.blocks) in
+          List.iter
+            (fun b ->
+              if not (Hashtbl.mem idx b.label) then Hashtbl.add idx b.label b)
+            t.blocks;
+          Index_tbl.add indexes t idx;
+          idx)
+
 let block_exn t label =
-  match List.find_opt (fun b -> b.label = label) t.blocks with
+  match Hashtbl.find_opt (index_of t) label with
   | Some b -> b
   | None -> invalid_arg ("Ssa.block_exn: no block " ^ label)
 

@@ -1,0 +1,441 @@
+(* Reduced product of intervals and congruences (Granger 1989 for the
+   congruence transfer).  Normal form maintained by [mk]: finite bounds
+   lie within [-big, big], endpoints sit on the congruence class,
+   singleton intervals collapse to constants ([m = 0]), and an empty
+   intersection is [Bot]. *)
+
+type bound = Ninf | Fin of int | Pinf
+
+(* Saturation threshold: finite bounds beyond this widen outward to the
+   matching infinity (or clamp inward when that is the sound direction),
+   so transfer arithmetic never overflows native ints. *)
+let big = 1 lsl 50
+
+type v = { lo : bound; hi : bound; m : int; r : int }
+type t = Bot | V of v
+
+let bcmp a b =
+  match (a, b) with
+  | Ninf, Ninf | Pinf, Pinf -> 0
+  | Ninf, _ -> -1
+  | _, Ninf -> 1
+  | Pinf, _ -> 1
+  | _, Pinf -> -1
+  | Fin x, Fin y -> compare x y
+
+let bmin a b = if bcmp a b <= 0 then a else b
+let bmax a b = if bcmp a b >= 0 then a else b
+
+let bneg = function Ninf -> Pinf | Pinf -> Ninf | Fin x -> Fin (-x)
+
+let badd a b =
+  match (a, b) with
+  | Ninf, Pinf | Pinf, Ninf -> invalid_arg "Value_domain.badd"
+  | Ninf, _ | _, Ninf -> Ninf
+  | Pinf, _ | _, Pinf -> Pinf
+  | Fin x, Fin y -> Fin (x + y) (* inputs are within +-big: no overflow *)
+
+let bsub a b = badd a (bneg b)
+
+let bmul a b =
+  match (a, b) with
+  | Fin 0, _ | _, Fin 0 -> Fin 0
+  | Fin x, Fin y ->
+      if abs x > (1 lsl 58) / abs y then if x > 0 = (y > 0) then Pinf else Ninf
+      else Fin (x * y)
+  | (Pinf | Ninf), Fin y -> if y > 0 then a else bneg a
+  | Fin x, (Pinf | Ninf) -> if x > 0 then b else bneg b
+  | Pinf, Pinf | Ninf, Ninf -> Pinf
+  | Pinf, Ninf | Ninf, Pinf -> Ninf
+
+let bsucc = function Fin x -> Fin (x + 1) | b -> b
+let bpred = function Fin x -> Fin (x - 1) | b -> b
+
+let rec gcd a b = if b = 0 then abs a else gcd b (a mod b)
+
+(* p * a + q * b = g, for a, b >= 1 *)
+let rec egcd a b =
+  if b = 0 then (a, 1, 0)
+  else
+    let g, p, q = egcd b (a mod b) in
+    (g, q, p - (a / b) * q)
+
+let norm_res r m = if m = 0 then r else (r mod m |> fun x -> (x + m) mod m)
+
+(* Congruence-lattice join and meet over classes (m, r); m = 0 is the
+   constant r, m = 1 is top. *)
+let cong_join (m1, r1) (m2, r2) =
+  let g = gcd (gcd m1 m2) (abs (r1 - r2)) in
+  if g = 0 then (0, r1) else (g, norm_res r1 g)
+
+let cong_meet (m1, r1) (m2, r2) =
+  match (m1, m2) with
+  | 0, 0 -> if r1 = r2 then Some (0, r1) else None
+  | 0, m -> if norm_res (r1 - r2) m = 0 then Some (0, r1) else None
+  | m, 0 -> if norm_res (r2 - r1) m = 0 then Some (0, r2) else None
+  | _ ->
+      let g = gcd m1 m2 in
+      if norm_res (r1 - r2) g <> 0 then None
+      else if m1 / g > 1_000_000_000 / m2 then Some (1, 0) (* lcm too big *)
+      else
+        let lcm = m1 / g * m2 in
+        let _, p, _ = egcd m1 m2 in
+        let t = norm_res (norm_res p (m2 / g) * norm_res ((r2 - r1) / g) (m2 / g)) (m2 / g) in
+        Some (lcm, norm_res (r1 + (m1 * t)) lcm)
+
+(* gamma(m1, r1) included in gamma(m2, r2)? *)
+let cong_leq (m1, r1) (m2, r2) =
+  match (m1, m2) with
+  | _, 1 -> true
+  | 0, 0 -> r1 = r2
+  | 0, m -> norm_res (r1 - r2) m = 0
+  | _, 0 -> false
+  | _ -> m1 mod m2 = 0 && norm_res (r1 - r2) m2 = 0
+
+let clamp_lo = function
+  | Fin x when x < -big -> Ninf
+  | Fin x when x > big -> Fin big
+  | Pinf -> Fin big
+  | b -> b
+
+let clamp_hi = function
+  | Fin x when x > big -> Pinf
+  | Fin x when x < -big -> Fin (-big)
+  | Ninf -> Fin (-big)
+  | b -> b
+
+let mk lo hi m r =
+  let lo = clamp_lo lo and hi = clamp_hi hi in
+  let m = abs m in
+  let m, r = if m > 1 lsl 40 then (1, 0) else (m, r) in
+  if bcmp lo hi > 0 then Bot
+  else if m = 0 then
+    if bcmp lo (Fin r) <= 0 && bcmp (Fin r) hi <= 0 then
+      V { lo = clamp_lo (Fin r); hi = clamp_hi (Fin r); m = 0; r }
+    else Bot
+  else
+    let r = norm_res r m in
+    let lo =
+      match lo with Fin x -> Fin (x + norm_res (r - x) m) | b -> b
+    and hi =
+      match hi with Fin x -> Fin (x - norm_res (x - r) m) | b -> b
+    in
+    if bcmp lo hi > 0 then Bot
+    else
+      match (lo, hi) with
+      | Fin a, Fin b when a = b -> V { lo; hi; m = 0; r = a }
+      | _ ->
+          if m = 1 then V { lo; hi; m = 1; r = 0 } else V { lo; hi; m; r }
+
+let bot = Bot
+let top = mk Ninf Pinf 1 0
+let const n = mk (Fin n) (Fin n) 0 n
+let range lo hi = mk (Fin lo) (Fin hi) 1 0
+let make ~lo ~hi ~modulus ~residue = mk lo hi modulus residue
+let congruent ~modulus ~residue = mk Ninf Pinf modulus residue
+let is_bot = function Bot -> true | V _ -> false
+
+let is_const = function
+  | V { m = 0; r; _ } -> Some r
+  | _ -> None
+
+let bounds = function Bot -> None | V { lo; hi; _ } -> Some (lo, hi)
+let congruence = function Bot -> None | V { m; r; _ } -> Some (m, r)
+let finite_lo = function V { lo = Fin x; _ } -> Some x | _ -> None
+let finite_hi = function V { hi = Fin x; _ } -> Some x | _ -> None
+
+let contains t n =
+  match t with
+  | Bot -> false
+  | V { lo; hi; m; r } ->
+      bcmp lo (Fin n) <= 0 && bcmp (Fin n) hi <= 0
+      && (if m = 0 then n = r else norm_res (n - r) m = 0)
+
+let leq a b =
+  match (a, b) with
+  | Bot, _ -> true
+  | _, Bot -> false
+  | V a, V b ->
+      bcmp b.lo a.lo <= 0 && bcmp a.hi b.hi <= 0
+      && cong_leq (a.m, a.r) (b.m, b.r)
+
+let equal a b = leq a b && leq b a
+
+let join a b =
+  match (a, b) with
+  | Bot, x | x, Bot -> x
+  | V a, V b ->
+      let m, r = cong_join (a.m, a.r) (b.m, b.r) in
+      mk (bmin a.lo b.lo) (bmax a.hi b.hi) m r
+
+let meet a b =
+  match (a, b) with
+  | Bot, _ | _, Bot -> Bot
+  | V a, V b -> (
+      match cong_meet (a.m, a.r) (b.m, b.r) with
+      | None -> Bot
+      | Some (m, r) -> mk (bmax a.lo b.lo) (bmin a.hi b.hi) m r)
+
+let widen a b =
+  match (a, join a b) with
+  | Bot, x | x, Bot -> x
+  | V a, V j ->
+      let lo = if bcmp j.lo a.lo < 0 then Ninf else a.lo in
+      let hi = if bcmp j.hi a.hi > 0 then Pinf else a.hi in
+      mk lo hi j.m j.r
+
+(* Transfer functions *)
+
+let neg = function
+  | Bot -> Bot
+  | V { lo; hi; m; r } -> mk (bneg hi) (bneg lo) m (if m = 0 then -r else norm_res (-r) m)
+
+let add a b =
+  match (a, b) with
+  | Bot, _ | _, Bot -> Bot
+  | V a, V b ->
+      let g = gcd a.m b.m in
+      let m, r = if g = 0 then (0, a.r + b.r) else (g, norm_res (a.r + b.r) g) in
+      mk (badd a.lo b.lo) (badd a.hi b.hi) m r
+
+let sub a b =
+  match (a, b) with
+  | Bot, _ | _, Bot -> Bot
+  | V a, V b ->
+      let g = gcd a.m b.m in
+      let m, r = if g = 0 then (0, a.r - b.r) else (g, norm_res (a.r - b.r) g) in
+      mk (bsub a.lo b.hi) (bsub a.hi b.lo) m r
+
+let cong_mul (m1, r1) (m2, r2) =
+  if m1 = 0 && m2 = 0 then (0, r1 * r2)
+  else
+    let cap = 1 lsl 25 in
+    if abs m1 > cap || abs r1 > cap || abs m2 > cap || abs r2 > cap then (1, 0)
+    else
+      let g = gcd (gcd (m1 * m2) (m1 * r2)) (m2 * r1) in
+      if g = 0 then (0, r1 * r2) else (g, norm_res (r1 * r2) g)
+
+let mul a b =
+  match (a, b) with
+  | Bot, _ | _, Bot -> Bot
+  | V a, V b ->
+      let cands = [ bmul a.lo b.lo; bmul a.lo b.hi; bmul a.hi b.lo; bmul a.hi b.hi ] in
+      let lo = List.fold_left bmin Pinf cands and hi = List.fold_left bmax Ninf cands in
+      let m, r = cong_mul (a.m, a.r) (b.m, b.r) in
+      mk lo hi m r
+
+(* Truncating division of a bound by a positive divisor bound. *)
+let bdiv_pos a d =
+  match (a, d) with
+  | Ninf, _ -> Ninf
+  | Pinf, _ -> Pinf
+  | Fin _, Pinf -> Fin 0
+  | Fin x, Fin y -> Fin (x / y)
+  | _, Ninf -> invalid_arg "Value_domain.bdiv_pos"
+
+(* Quotient interval for a divisor interval that is strictly positive.
+   Truncating division is monotone in the dividend and, for a fixed-sign
+   dividend, reaches its extremes at divisor endpoints, so the four
+   corners bound the image. *)
+let div_pos (alo, ahi) (dlo, dhi) =
+  let cands = [ bdiv_pos alo dlo; bdiv_pos alo dhi; bdiv_pos ahi dlo; bdiv_pos ahi dhi ] in
+  (List.fold_left bmin Pinf cands, List.fold_left bmax Ninf cands)
+
+let div a b =
+  match (a, b) with
+  | Bot, _ | _, Bot -> Bot
+  | V av, V _ ->
+      (* Lang semantics: division by zero yields 0. *)
+      let zero_part = if contains b 0 then const 0 else Bot in
+      let pos_part =
+        match meet b (mk (Fin 1) Pinf 1 0) with
+        | Bot -> Bot
+        | V d ->
+            let lo, hi = div_pos (av.lo, av.hi) (d.lo, d.hi) in
+            mk lo hi 1 0
+      in
+      let neg_part =
+        match meet b (mk Ninf (Fin (-1)) 1 0) with
+        | Bot -> Bot
+        | V d ->
+            (* a / d = -(a / -d) *)
+            let lo, hi = div_pos (av.lo, av.hi) (bneg d.hi, bneg d.lo) in
+            mk (bneg hi) (bneg lo) 1 0
+      in
+      join zero_part (join pos_part neg_part)
+
+let nonneg = function V { lo = Fin x; _ } -> x >= 0 | _ -> false
+
+(* Smallest mask 2^k - 1 covering n. *)
+let bits_mask n =
+  let rec go m = if m >= n then m else go ((m * 2) + 1) in
+  go 0
+
+let lift_exact f a b =
+  match (is_const a, is_const b) with
+  | Some x, Some y -> Some (const (f x y))
+  | _ -> None
+
+let logand a b =
+  match (a, b) with
+  | Bot, _ | _, Bot -> Bot
+  | _ -> (
+      match lift_exact ( land ) a b with
+      | Some c -> c
+      | None ->
+          if nonneg a && nonneg b then
+            let hi =
+              match (finite_hi a, finite_hi b) with
+              | Some x, Some y -> Fin (min x y)
+              | Some x, None | None, Some x -> Fin x
+              | None, None -> Pinf
+            in
+            mk (Fin 0) hi 1 0
+          else if nonneg a then mk (Fin 0) (match finite_hi a with Some x -> Fin x | None -> Pinf) 1 0
+          else if nonneg b then mk (Fin 0) (match finite_hi b with Some x -> Fin x | None -> Pinf) 1 0
+          else top)
+
+let logor a b =
+  match (a, b) with
+  | Bot, _ | _, Bot -> Bot
+  | V av, V bv -> (
+      match lift_exact ( lor ) a b with
+      | Some c -> c
+      | None ->
+          if nonneg a && nonneg b then
+            let hi =
+              match (finite_hi a, finite_hi b) with
+              | Some x, Some y -> Fin (bits_mask (max x y))
+              | _ -> Pinf
+            in
+            mk (bmax av.lo bv.lo) hi 1 0
+          else top)
+
+let logxor a b =
+  match (a, b) with
+  | Bot, _ | _, Bot -> Bot
+  | _ -> (
+      match lift_exact ( lxor ) a b with
+      | Some c -> c
+      | None ->
+          if nonneg a && nonneg b then
+            let hi =
+              match (finite_hi a, finite_hi b) with
+              | Some x, Some y -> Fin (bits_mask (max x y))
+              | _ -> Pinf
+            in
+            mk (Fin 0) hi 1 0
+          else top)
+
+(* Shift semantics mirror Lang.eval_binop: count masked to [0, 62]. *)
+let shl a b =
+  match (a, b) with
+  | Bot, _ | _, Bot -> Bot
+  | _ -> (
+      match lift_exact (fun x y -> x lsl (y land 62)) a b with
+      | Some c -> c
+      | None -> (
+          match is_const b with
+          | Some y ->
+              let k = y land 62 in
+              (match (finite_lo a, finite_hi a) with
+              | Some l, Some h when l >= 0 && k <= 50 && h <= 1 lsl (50 - k) ->
+                  mul a (const (1 lsl k))
+              | _ -> top)
+          | None -> top))
+
+let shr a b =
+  match (a, b) with
+  | Bot, _ | _, Bot -> Bot
+  | V av, _ -> (
+      match lift_exact (fun x y -> x lsr (y land 62)) a b with
+      | Some c -> c
+      | None -> (
+          match is_const b with
+          | Some y ->
+              let k = y land 62 in
+              if k = 0 then a
+              else (
+                match finite_lo a with
+                | Some l when l >= 0 ->
+                    mk (Fin (l lsr k))
+                      (match av.hi with Fin h -> Fin (h lsr k) | _ -> Pinf)
+                      1 0
+                | _ -> mk (Fin 0) Pinf 1 0)
+          | None -> if nonneg a then mk (Fin 0) av.hi 1 0 else top))
+
+(* Comparison refinement *)
+
+type cmp = Eq | Ne | Lt | Le | Gt | Ge
+
+let negate_cmp = function
+  | Eq -> Ne
+  | Ne -> Eq
+  | Lt -> Ge
+  | Le -> Gt
+  | Gt -> Le
+  | Ge -> Lt
+
+let swap_cmp = function
+  | Lt -> Gt
+  | Gt -> Lt
+  | Le -> Ge
+  | Ge -> Le
+  | (Eq | Ne) as c -> c
+
+let rec definitely c v w =
+  match (v, w) with
+  | Bot, _ | _, Bot -> None
+  | V a, V b -> (
+      let lt_all = bcmp a.hi b.lo < 0 in
+      let le_all = bcmp a.hi b.lo <= 0 in
+      let gt_all = bcmp a.lo b.hi > 0 in
+      let ge_all = bcmp a.lo b.hi >= 0 in
+      match c with
+      | Lt -> if lt_all then Some true else if ge_all then Some false else None
+      | Le -> if le_all then Some true else if gt_all then Some false else None
+      | Gt -> if gt_all then Some true else if le_all then Some false else None
+      | Ge -> if ge_all then Some true else if lt_all then Some false else None
+      | Eq -> (
+          match (is_const v, is_const w) with
+          | Some x, Some y -> Some (x = y)
+          | _ -> if is_bot (meet v w) then Some false else None)
+      | Ne -> Option.map not (definitely Eq v w))
+
+let clamp_upper v ub =
+  match v with Bot -> Bot | V a -> mk a.lo (bmin a.hi ub) a.m a.r
+
+let clamp_lower v lb =
+  match v with Bot -> Bot | V a -> mk (bmax a.lo lb) a.hi a.m a.r
+
+let refine c v w =
+  match (v, w) with
+  | Bot, _ | _, Bot -> Bot
+  | V a, V b -> (
+      match c with
+      | Eq -> meet v w
+      | Ne -> (
+          match is_const w with
+          | Some cst ->
+              let lo = if a.lo = Fin cst then Fin (cst + 1) else a.lo in
+              let hi = if a.hi = Fin cst then Fin (cst - 1) else a.hi in
+              mk lo hi a.m a.r
+          | None -> v)
+      | Lt -> clamp_upper v (bpred b.hi)
+      | Le -> clamp_upper v b.hi
+      | Gt -> clamp_lower v (bsucc b.lo)
+      | Ge -> clamp_lower v b.lo)
+
+let pp_bound ppf = function
+  | Ninf -> Format.pp_print_string ppf "-inf"
+  | Pinf -> Format.pp_print_string ppf "+inf"
+  | Fin x -> Format.pp_print_int ppf x
+
+let pp ppf = function
+  | Bot -> Format.pp_print_string ppf "_|_"
+  | V { m = 0; r; _ } -> Format.fprintf ppf "{%d}" r
+  | V { lo; hi; m; r } ->
+      Format.fprintf ppf "[%a,%a]" pp_bound lo pp_bound hi;
+      if m > 1 then Format.fprintf ppf "=%d(mod %d)" r m
+
+let to_string t = Format.asprintf "%a" pp t

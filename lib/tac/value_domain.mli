@@ -1,0 +1,90 @@
+(** Interval × congruence product domain for the abstract interpreter.
+
+    An element over-approximates a set of machine integers by the reduced
+    product of an interval [lo, hi] (bounds possibly infinite) and a
+    congruence class x ≡ r (mod m).  [m = 0] denotes the constant [r];
+    [m = 1] denotes "no congruence information".  Reduction runs on every
+    construction: interval endpoints are rounded to the congruence class,
+    singleton intervals collapse to constants, and an empty intersection
+    collapses to {!bot}.
+
+    Arithmetic saturates: a finite bound whose exact value would leave the
+    safely-representable range widens to the corresponding infinity, which
+    keeps every transfer function an over-approximation without tracking
+    native-int wraparound (model programs stay far below that range). *)
+
+type bound = Ninf | Fin of int | Pinf
+
+type t
+
+val bot : t
+val top : t
+val const : int -> t
+val range : int -> int -> t
+(** [range lo hi]; empty when [lo > hi]. *)
+
+val make : lo:bound -> hi:bound -> modulus:int -> residue:int -> t
+(** Reduced constructor; [modulus = 0] means the constant [residue]. *)
+
+val congruent : modulus:int -> residue:int -> t
+(** All integers ≡ residue (mod modulus). *)
+
+val is_bot : t -> bool
+val is_const : t -> int option
+val bounds : t -> (bound * bound) option
+(** [None] for {!bot}. *)
+
+val congruence : t -> (int * int) option
+(** [(modulus, residue)]; [None] for {!bot}. *)
+
+val finite_lo : t -> int option
+val finite_hi : t -> int option
+val contains : t -> int -> bool
+
+(** {1 Lattice} *)
+
+val leq : t -> t -> bool
+val equal : t -> t -> bool
+val join : t -> t -> t
+val meet : t -> t -> t
+
+val widen : t -> t -> t
+(** [widen old next] with [old ⊑ next]: unstable interval bounds jump to
+    infinity; the congruence component joins (its chains are finite). *)
+
+(** {1 Transfer functions}
+
+    Each returns an over-approximation of the pointwise image.  Exact
+    semantics of division and shifts follow {!Lang.eval_binop} (division
+    by zero yields 0; shift counts are masked to [0, 62]). *)
+
+val neg : t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val div : t -> t -> t
+val logand : t -> t -> t
+val logor : t -> t -> t
+val logxor : t -> t -> t
+val shl : t -> t -> t
+val shr : t -> t -> t
+
+(** {1 Comparison refinement} *)
+
+type cmp = Eq | Ne | Lt | Le | Gt | Ge
+
+val negate_cmp : cmp -> cmp
+val swap_cmp : cmp -> cmp
+(** [swap_cmp c] is the comparison with the operands exchanged:
+    [x c y ⇔ y (swap_cmp c) x]. *)
+
+val definitely : cmp -> t -> t -> bool option
+(** [Some b] when the comparison evaluates to [b] for every pair of
+    concrete values drawn from the two arguments; [None] otherwise. *)
+
+val refine : cmp -> t -> t -> t
+(** [refine c v w] over-approximates [{x ∈ γ(v) | ∃ y ∈ γ(w). x c y}];
+    {!bot} means the comparison can never hold. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -26,7 +26,10 @@ type spec = {
   program : Timing.t Cfg.Flowgraph.program;
   bounds : loop_bound list;
   constraints : User_constraint.t list;
+  derived : (User_constraint.t * Derive_constraints.derivation) list;
 }
+
+type sources = [ `All | `Manual | `Derived ]
 
 type result = {
   wcet : int;
@@ -133,7 +136,31 @@ let prepare ~config ?(pinned_code = []) ?(pinned_data = []) (spec : spec) =
     prep_elapsed_s = Clock.elapsed_s ~since:started;
   }
 
-let analyse_prepared ?(use_constraints = true)
+(* Constraints selected for one ILP variant, each tagged with its
+   provenance for the constraint-row label.  Derived constraints that
+   structurally duplicate a manual one are dropped under [`All]. *)
+let selected_constraints (spec : spec) ~use_constraints ~(sources : sources) =
+  if not use_constraints then []
+  else
+    let manual = List.map (fun c -> (c, "manual")) spec.constraints in
+    let derived =
+      List.map
+        (fun (c, (d : Derive_constraints.derivation)) ->
+          ( c,
+            Fmt.str "derived %s/%s" d.Derive_constraints.dv_model
+              (Derive_constraints.rule_name d.Derive_constraints.dv_rule) ))
+        spec.derived
+    in
+    match sources with
+    | `Manual -> manual
+    | `Derived -> derived
+    | `All ->
+        manual
+        @ List.filter
+            (fun (c, _) -> not (List.mem c spec.constraints))
+            derived
+
+let analyse_prepared ?(use_constraints = true) ?(sources : sources = `All)
     ?(forced = ([] : (string * string * int) list)) ?warm_start (p : prepared) =
   let started = Clock.now_s () in
   let spec = p.spec in
@@ -231,9 +258,10 @@ let analyse_prepared ?(use_constraints = true)
   let entry_of_ctx blocks =
     List.filter_map (fun (id, _, is_entry) -> if is_entry then Some id else None) blocks
   in
-  let constraints = if use_constraints then spec.constraints else [] in
+  let constraints = selected_constraints spec ~use_constraints ~sources in
   List.iter
-    (fun c ->
+    (fun (c, src) ->
+      let clabel = Fmt.str "[%s] %a" src User_constraint.pp c in
       match c with
       | User_constraint.Conflicts_with { func; a; b } ->
           List.iter
@@ -242,9 +270,7 @@ let analyse_prepared ?(use_constraints = true)
               and xb = find_in_ctx blocks b
               and entry = entry_of_ctx blocks in
               if xa <> [] && xb <> [] then
-                Ilp.Problem.add_le
-                  ~label:(Fmt.to_to_string User_constraint.pp c)
-                  problem
+                Ilp.Problem.add_le ~label:clabel problem
                   (List.map (fun id -> (1, x.(id))) (xa @ xb)
                   @ List.map (fun id -> (-1, x.(id))) entry)
                   0)
@@ -254,9 +280,7 @@ let analyse_prepared ?(use_constraints = true)
             (fun (_ctx, blocks) ->
               let xa = find_in_ctx blocks a and xb = find_in_ctx blocks b in
               if xa <> [] && xb <> [] then
-                Ilp.Problem.add_eq
-                  ~label:(Fmt.to_to_string User_constraint.pp c)
-                  problem
+                Ilp.Problem.add_eq ~label:clabel problem
                   (List.map (fun id -> (1, x.(id))) xa
                   @ List.map (fun id -> (-1, x.(id))) xb)
                   0)
@@ -268,9 +292,7 @@ let analyse_prepared ?(use_constraints = true)
               (instances_of func)
           in
           if all <> [] then
-            Ilp.Problem.add_le
-              ~label:(Fmt.to_to_string User_constraint.pp c)
-              problem
+            Ilp.Problem.add_le ~label:clabel problem
               (List.map (fun id -> (1, x.(id))) all)
               times)
     constraints;

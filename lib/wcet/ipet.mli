@@ -12,8 +12,16 @@ type loop_bound = { func : string; header : string; bound : int }
 type spec = {
   program : Timing.t Cfg.Flowgraph.program;
   bounds : loop_bound list;
-  constraints : User_constraint.t list;
+  constraints : User_constraint.t list;  (** manual, Section 5.2 *)
+  derived : (User_constraint.t * Derive_constraints.derivation) list;
+      (** mechanically derived by {!Derive_constraints}, with
+          provenance; see the [sources] selector *)
 }
+
+type sources = [ `All | `Manual | `Derived ]
+(** Which constraint sources an ILP variant uses.  [`All] is the
+    default: the manual set plus every derived constraint that does not
+    structurally duplicate a manual one. *)
 
 type result = {
   wcet : int;  (** sound upper bound, in cycles *)
@@ -53,13 +61,16 @@ val prepare :
 
 val analyse_prepared :
   ?use_constraints:bool ->
+  ?sources:sources ->
   ?forced:(string * string * int) list ->
   ?warm_start:int array ->
   prepared ->
   result
 (** Build and solve one ILP over a shared prefix.  [use_constraints:false]
-    drops the manual constraints of the spec (the Section 6.3
-    unconstrained baseline).  [forced] pins total execution counts of
+    drops every user constraint, manual and derived (the Section 6.3
+    unconstrained baseline); [sources] selects between them when
+    constraints are on.  Constraint rows carry their provenance in the
+    ILP row label.  [forced] pins total execution counts of
     (function, block label) pairs, which is how Section 6.2 computes the
     predicted time of a specific realisable path.  [warm_start] seeds
     branch-and-bound with a candidate solution (see

@@ -20,7 +20,12 @@ type t =
 let conflicts ~func a b = Conflicts_with { func; a; b }
 let consistent ~func a b = Consistent_with { func; a; b }
 let executes_at_most ~func block times =
-  assert (times >= 0);
+  (* Not an assert: those vanish under --release, and a negative cap
+     would make the ILP silently infeasible. *)
+  if times < 0 then
+    invalid_arg
+      (Fmt.str "User_constraint.executes_at_most: negative count %d for %s.%s"
+         times func block);
   Executes_at_most { func; block; times }
 
 let pp ppf = function

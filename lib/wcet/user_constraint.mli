@@ -17,4 +17,8 @@ type t =
 val conflicts : func:string -> string -> string -> t
 val consistent : func:string -> string -> string -> t
 val executes_at_most : func:string -> string -> int -> t
+(** @raise Invalid_argument on a negative count (an assert would vanish
+    under the release profile). *)
+
+
 val pp : t Fmt.t

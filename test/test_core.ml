@@ -176,7 +176,8 @@ let test_constraints_tighten_syscall_bound () =
   let config = Hw.Config.default in
   let spec = KM.spec improved KM.Syscall in
   let unconstrained =
-    Wcet.Ipet.analyse ~config { spec with Wcet.Ipet.constraints = [] }
+    Wcet.Ipet.analyse ~config
+      { spec with Wcet.Ipet.constraints = []; derived = [] }
   in
   let constrained = Wcet.Ipet.analyse ~config spec in
   check_bool

@@ -284,6 +284,41 @@ let test_slice_keeps_stores_for_loads () =
   check_int "takes the true branch" 1
     (try Hashtbl.find visits "t" with Not_found -> 0)
 
+(* The store's address is a parameter the slicer cannot separate from the
+   loaded address, so the store must survive even though it may target a
+   different location: dropping it would flip the branch when p = 0. *)
+let test_slice_conservative_store_aliasing () =
+  let program =
+    {
+      L.entry = "e";
+      params = [ { L.name = "p"; lo = 0; hi = 1 } ];
+      blocks =
+        [
+          {
+            L.label = "e";
+            instrs =
+              [
+                L.Store (L.Reg "p", L.Imm 7);
+                L.Binop ("unused", L.Add, L.Reg "p", L.Imm 1);
+                L.Load ("x", L.Imm 0);
+              ];
+            term = L.Branch (L.Eq, L.Reg "x", L.Imm 7, "t", "f");
+          };
+          { L.label = "t"; instrs = []; term = L.Halt };
+          { L.label = "f"; instrs = []; term = L.Halt };
+        ];
+    }
+  in
+  let ssa = Tac.Ssa.convert program in
+  let sliced, stats = Tac.Slice.compute ssa in
+  check_int "kept the store and the load, dropped the arithmetic" 2
+    stats.Tac.Slice.kept_instrs;
+  check_bool "visit counts preserved on every input" true
+    (Tac.Interp.for_all_inputs program (fun inputs ->
+         let full = Tac.Ssa.run ssa ~inputs in
+         let cut = Tac.Ssa.run sliced ~inputs in
+         visits_tbl_to_sorted full = visits_tbl_to_sorted cut))
+
 let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
 
 let () =
@@ -309,6 +344,8 @@ let () =
           [
             test_case "removes dead code" `Quick test_slice_removes_dead_code;
             test_case "keeps stores for loads" `Quick test_slice_keeps_stores_for_loads;
+            test_case "conservative about store aliasing" `Quick
+              test_slice_conservative_store_aliasing;
           ]
         @ qsuite [ test_slice_preserves_visits_random ] );
     ]

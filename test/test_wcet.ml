@@ -150,6 +150,7 @@ let ipet_loop ~bound ~declared =
       Wcet.Ipet.program = loop_program ~bound;
       bounds = [ { Wcet.Ipet.func = "main"; header = "header"; bound = declared } ];
       constraints = [];
+      derived = [];
     }
 
 let test_ipet_loop_bound () =
@@ -183,6 +184,7 @@ let test_ipet_unbounded_loop () =
               Wcet.Ipet.program = loop_program ~bound:4;
               bounds = [];
               constraints = [];
+      derived = [];
             });
        false
      with Wcet.Ipet.Unbounded_loop _ -> true)
@@ -219,7 +221,7 @@ let diamond_program () =
 let test_ipet_conflict_constraint () =
   let base =
     Wcet.Ipet.analyse ~config:Hw.Config.default
-      { Wcet.Ipet.program = diamond_program (); bounds = []; constraints = [] }
+      { Wcet.Ipet.program = diamond_program (); bounds = []; constraints = []; derived = [] }
   in
   let constrained =
     Wcet.Ipet.analyse ~config:Hw.Config.default
@@ -227,6 +229,7 @@ let test_ipet_conflict_constraint () =
         Wcet.Ipet.program = diamond_program ();
         bounds = [];
         constraints = [ Wcet.User_constraint.conflicts ~func:"main" "costly" "tail" ];
+        derived = [];
       }
   in
   check_bool "constraint lowers the bound" true
@@ -243,11 +246,21 @@ let test_ipet_consistent_constraint () =
         bounds = [];
         constraints =
           [ Wcet.User_constraint.consistent ~func:"main" "cheap" "tail" ];
+        derived = [];
       }
   in
   (* Consistent(cheap, tail): taking tail now requires the cheap arm. *)
   let counts = constrained.Wcet.Ipet.block_counts in
   check_bool "cheap iff tail" true (counts.(2) = counts.(4))
+
+let test_executes_at_most_rejects_negative () =
+  Alcotest.check_raises "negative count"
+    (Invalid_argument
+       "User_constraint.executes_at_most: negative count -1 for main.body")
+    (fun () ->
+      ignore (Wcet.User_constraint.executes_at_most ~func:"main" "body" (-1)));
+  (* zero is a legal (if brutal) cap *)
+  ignore (Wcet.User_constraint.executes_at_most ~func:"main" "body" 0)
 
 let test_ipet_executes_at_most () =
   let r =
@@ -257,6 +270,7 @@ let test_ipet_executes_at_most () =
         bounds = [ { Wcet.Ipet.func = "main"; header = "header"; bound = 4 } ];
         constraints =
           [ Wcet.User_constraint.executes_at_most ~func:"main" "body" 1 ];
+        derived = [];
       }
   in
   check_int "body capped" 1 r.Wcet.Ipet.block_counts.(2)
@@ -264,12 +278,12 @@ let test_ipet_executes_at_most () =
 let test_ipet_forced_path () =
   let free =
     Wcet.Ipet.analyse ~config:Hw.Config.default
-      { Wcet.Ipet.program = diamond_program (); bounds = []; constraints = [] }
+      { Wcet.Ipet.program = diamond_program (); bounds = []; constraints = []; derived = [] }
   in
   let forced =
     Wcet.Ipet.analyse ~config:Hw.Config.default
       ~forced:[ ("main", "costly", 0); ("main", "tail", 0) ]
-      { Wcet.Ipet.program = diamond_program (); bounds = []; constraints = [] }
+      { Wcet.Ipet.program = diamond_program (); bounds = []; constraints = []; derived = [] }
   in
   check_bool "forced path is cheaper" true
     (forced.Wcet.Ipet.wcet < free.Wcet.Ipet.wcet);
@@ -307,7 +321,7 @@ let test_ipet_context_sensitivity () =
   let program = { F.funcs = [ caller; callee ]; main = "main" } in
   let free =
     Wcet.Ipet.analyse ~config:Hw.Config.default
-      { Wcet.Ipet.program = program; bounds = []; constraints = [] }
+      { Wcet.Ipet.program = program; bounds = []; constraints = []; derived = [] }
   in
   let constrained =
     Wcet.Ipet.analyse ~config:Hw.Config.default
@@ -316,6 +330,7 @@ let test_ipet_context_sensitivity () =
         bounds = [];
         constraints =
           [ Wcet.User_constraint.conflicts ~func:"g" "g_costly" "g_costly" ];
+        derived = [];
       }
   in
   (* conflicts(costly, costly) forbids the costly arm entirely, separately
@@ -471,7 +486,7 @@ let test_soundness =
       let program, bounds = build_structured constructs in
       let result =
         Wcet.Ipet.analyse ~config:Hw.Config.default
-          { Wcet.Ipet.program = program; bounds; constraints = [] }
+          { Wcet.Ipet.program = program; bounds; constraints = []; derived = [] }
       in
       (* Try several branch decision vectors, including all-true/all-false. *)
       List.for_all
@@ -498,7 +513,7 @@ let test_soundness_l2_locked =
       let program, bounds = build_structured constructs in
       let result =
         Wcet.Ipet.analyse ~config
-          { Wcet.Ipet.program = program; bounds; constraints = [] }
+          { Wcet.Ipet.program = program; bounds; constraints = []; derived = [] }
       in
       execute ~config ~decide:(fun i -> i mod 2 = 1) constructs
       <= result.Wcet.Ipet.wcet)
@@ -510,7 +525,7 @@ let test_soundness_l2 =
       let program, bounds = build_structured constructs in
       let result =
         Wcet.Ipet.analyse ~config:Hw.Config.with_l2
-          { Wcet.Ipet.program = program; bounds; constraints = [] }
+          { Wcet.Ipet.program = program; bounds; constraints = []; derived = [] }
       in
       execute ~config:Hw.Config.with_l2 ~decide:(fun _ -> true) constructs
       <= result.Wcet.Ipet.wcet)
@@ -543,6 +558,8 @@ let () =
             test_case "conflicts" `Quick test_ipet_conflict_constraint;
             test_case "consistent" `Quick test_ipet_consistent_constraint;
             test_case "executes at most" `Quick test_ipet_executes_at_most;
+            test_case "negative cap rejected" `Quick
+              test_executes_at_most_rejects_negative;
             test_case "forced path" `Quick test_ipet_forced_path;
             test_case "context sensitivity" `Quick test_ipet_context_sensitivity;
           ] );
