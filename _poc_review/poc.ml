@@ -1,0 +1,40 @@
+module L = Tac.Lang
+let b label instrs term = { L.label; instrs; term }
+
+(* x is redefined between the two syntactically identical branches *)
+let program =
+  {
+    L.entry = "entry";
+    params = [ { L.name = "x"; lo = 0; hi = 1 } ];
+    blocks =
+      [
+        b "entry" [] (L.Jump "t1");
+        b "t1" [] (L.Branch (L.Eq, L.Reg "x", L.Imm 0, "a1", "b1"));
+        b "a1" [] (L.Jump "m");
+        b "b1" [] (L.Jump "m");
+        b "m" [ L.Assign ("x", L.Imm 1) ] (L.Jump "t2");
+        b "t2" [] (L.Branch (L.Eq, L.Reg "x", L.Imm 0, "a2", "b2"));
+        b "a2" [] (L.Jump "fin");
+        b "b2" [] (L.Jump "fin");
+        b "fin" [] L.Halt;
+      ];
+  }
+
+let model : Wcet.Derive_constraints.model =
+  {
+    dm_name = "poc";
+    dm_func = "f";
+    dm_program = program;
+    dm_labels = [ ("a1", "A1"); ("a2", "A2"); ("b1", "B1"); ("b2", "B2") ];
+    dm_calls_bound = 1;
+  }
+
+let () =
+  let report = Wcet.Derive_constraints.derive [ model ] in
+  List.iter
+    (fun d -> Fmt.pr "DERIVED: %a@." Wcet.Derive_constraints.pp_derived d)
+    report.Wcet.Derive_constraints.rep_derived;
+  (* ground truth: run x=0 -> a1 executes, a2 does not *)
+  let _, trace = Tac.Interp.run program ~inputs:[ ("x", 0) ] in
+  Fmt.pr "concrete x=0: a1=%d a2=%d@."
+    (Tac.Interp.visits trace "a1") (Tac.Interp.visits trace "a2")
