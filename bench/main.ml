@@ -46,6 +46,14 @@ let run_callpreempt () = Sel4_rt.Experiments.(print_call_preempt (call_preempt (
 let run_fastpath () = Sel4_rt.Experiments.(print_fastpath (fastpath_ablation ()))
 let run_replacement () = Sel4_rt.Experiments.(print_replacement (replacement ()))
 
+(* The latest fault-injection report, kept for the --json summary. *)
+let inject_report : Inject.report option ref = ref None
+
+let run_inject () =
+  let report = Inject.run_campaign ~smoke:true (Sel4_rt.Analysis_ctx.default) in
+  inject_report := Some report;
+  Fmt.pr "%a@." Inject.pp_report report
+
 (* --- Bechamel microbenchmarks --- *)
 
 let micro_tests () =
@@ -150,6 +158,7 @@ let sections =
     ("callpreempt", run_callpreempt);
     ("fastpath", run_fastpath);
     ("replacement", run_replacement);
+    ("inject", run_inject);
     ("micro", run_micro);
   ]
 
@@ -231,7 +240,8 @@ let table2_cell_json (c : Sel4_rt.Experiments.table2_cell) =
 
 let write_json ~path ~section_times ~engine_wall_s ~serial_fresh_wall_s
     ~(stats : Sel4_rt.Analysis_cache.stats) ~domains ~requested_domains
-    ~recommended_domains ~warning ~analysis_rows ~constraint_rows ~table2_rows =
+    ~recommended_domains ~warning ~analysis_rows ~constraint_rows ~table2_rows
+    ~inject_rep =
   let buf = Buffer.create 2048 in
   let addf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   let f v = Printf.sprintf "%.6f" v in
@@ -273,6 +283,32 @@ let write_json ~path ~section_times ~engine_wall_s ~serial_fresh_wall_s
             (if i < List.length rows - 1 then "," else ""))
         rows;
       addf "  ],\n");
+  (match inject_rep with
+  | None -> ()
+  | Some (r : Inject.report) ->
+      addf
+        "  \"inject\": {\"seed\": %d, \"smoke\": %b, \"campaigns\": %d, \
+         \"runs\": %d, \"points_covered\": %d, \"max_restarts\": %d, \
+         \"failures\": %d, \"ops\": [\n"
+        r.Inject.r_seed r.Inject.r_smoke
+        (List.length r.Inject.r_ops)
+        r.Inject.r_total_runs
+        (List.fold_left (fun a o -> a + o.Inject.o_points) 0 r.Inject.r_ops)
+        (List.fold_left (fun a o -> max a o.Inject.o_max_restarts) 0 r.Inject.r_ops)
+        (List.fold_left
+           (fun a o -> a + List.length o.Inject.o_failures)
+           0 r.Inject.r_ops);
+      List.iteri
+        (fun i (o : Inject.op_report) ->
+          addf
+            "    {\"op\": \"%s\", \"points\": %d, \"runs\": %d, \
+             \"max_restarts\": %d, \"failures\": %d}%s\n"
+            (json_escape (Inject.op_name o.Inject.o_op))
+            o.Inject.o_points o.Inject.o_runs o.Inject.o_max_restarts
+            (List.length o.Inject.o_failures)
+            (if i < List.length r.Inject.r_ops - 1 then "," else ""))
+        r.Inject.r_ops;
+      addf "  ]},\n");
   addf "  \"analysis\": [\n";
   List.iteri
     (fun i (r : Sel4_rt.Experiments.analysis_cost_row) ->
@@ -383,7 +419,7 @@ let () =
     let path = "BENCH_wcet.json" in
     write_json ~path ~section_times ~engine_wall_s ~serial_fresh_wall_s ~stats
       ~domains ~requested_domains ~recommended_domains ~warning ~analysis_rows
-      ~constraint_rows ~table2_rows:!table2_rows;
+      ~constraint_rows ~table2_rows:!table2_rows ~inject_rep:!inject_report;
     Fmt.pr "@.engine: %.3fs  serial fresh: %.3fs  speedup: %.1fx  cache hit \
             rate: %.0f%%  (%s)@."
       engine_wall_s serial_fresh_wall_s

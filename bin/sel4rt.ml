@@ -78,7 +78,8 @@ let wcet_cmd =
   let run entry build l2 pin path =
     let config = config_of ~l2 ~pin in
     let pins = pins_of build ~pin in
-    let result = Sel4_rt.Response_time.computed ~pins ~config build entry in
+    let ctx = Sel4_rt.Analysis_ctx.make ~config ~pins ~build () in
+    let result = Sel4_rt.Response_time.computed ctx entry in
     Fmt.pr "%s, %a@." (Sel4_rt.Kernel_model.entry_name entry) Sel4.Build.pp build;
     Fmt.pr "hardware: %a@." Hw.Config.pp config;
     Fmt.pr "WCET bound: %d cycles (%.1f us)@." result.Wcet.Ipet.wcet
@@ -102,7 +103,11 @@ let wcet_cmd =
 let observe_cmd =
   let run entry build l2 runs =
     let config = config_of ~l2 ~pin:false in
-    let observed = Sel4_rt.Response_time.observed ~runs ~config build entry in
+    let observed =
+      Sel4_rt.Response_time.observed ~runs
+        (Sel4_rt.Analysis_ctx.make ~config ~build ())
+        entry
+    in
     Fmt.pr "%s, %a, %d runs@." (Sel4_rt.Kernel_model.entry_name entry)
       Sel4.Build.pp build runs;
     Fmt.pr "observed worst case: %d cycles (%.1f us)@." observed
@@ -118,7 +123,8 @@ let response_cmd =
     let config = config_of ~l2 ~pin in
     let pins = pins_of build ~pin in
     let bound =
-      Sel4_rt.Response_time.interrupt_response_bound ~pins ~config build
+      Sel4_rt.Response_time.interrupt_response_bound
+        (Sel4_rt.Analysis_ctx.make ~config ~pins ~build ())
     in
     Fmt.pr "worst-case interrupt response (%a): %d cycles (%.1f us)@."
       Sel4.Build.pp build bound
@@ -306,7 +312,11 @@ let trace_cmd =
     (match scenario with
     | Quickstart -> run_quickstart_traced ~config buf
     | Entry entry -> (
-        match Sel4_rt.Workloads.run_traced ~config ~buf ~seed build entry with
+        match
+          Sel4_rt.Workloads.run_traced ~buf ~seed
+            (Sel4_rt.Analysis_ctx.make ~config ~build ())
+            entry
+        with
         | Sel4.Kernel.Failed e, _ ->
             Fmt.epr "scenario failed: %s@." e;
             exit 1
@@ -371,14 +381,12 @@ let metrics_cmd =
     (* Exercise the full pipeline once per entry point — IPET stage spans,
        analysis-cache counters, pool stats — plus one observed workload for
        the hardware counters, then dump the registry. *)
+    let ctx = Sel4_rt.Analysis_ctx.make ~config () in
     List.iter
-      (fun entry ->
-        ignore
-          (Sel4_rt.Response_time.computed ~config Sel4.Build.improved entry))
+      (fun entry -> ignore (Sel4_rt.Response_time.computed ctx entry))
       Sel4_rt.Kernel_model.entry_points;
     ignore
-      (Sel4_rt.Response_time.observed ~runs ~config Sel4.Build.improved
-         Sel4_rt.Kernel_model.Interrupt);
+      (Sel4_rt.Response_time.observed ~runs ctx Sel4_rt.Kernel_model.Interrupt);
     print_string (Obs.Metrics.to_json (Obs.Metrics.snapshot ()));
     print_newline ()
   in
@@ -393,6 +401,38 @@ let metrics_cmd =
          "Run the analysis pipeline and dump the metrics registry (counters, \
           gauges, stage-span histograms) as JSON.")
     Term.(const run $ l2_arg $ runs_arg)
+
+let inject_cmd =
+  let run smoke seed l2 =
+    let config = config_of ~l2 ~pin:false in
+    let ctx = Sel4_rt.Analysis_ctx.make ~config () in
+    let report = Inject.run_campaign ~smoke ~seed ctx in
+    Fmt.pr "%a@." Inject.pp_report report;
+    if not (Inject.ok report) then exit 1
+  in
+  let smoke_arg =
+    Arg.(
+      value & flag
+      & info [ "smoke" ]
+          ~doc:
+            "Small workloads and few random schedules: the fast fixed-seed \
+             CI configuration.")
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int 42
+      & info [ "seed" ] ~docv:"N"
+          ~doc:"PRNG seed for the multi-interrupt schedules.")
+  in
+  Cmd.v
+    (Cmd.info "inject"
+       ~doc:
+         "Exhaustive preemption-point fault-injection campaign: replay every \
+          long-running operation injecting timer interrupts at each polled \
+          preemption point, check the invariant catalogue and restart \
+          progress after every kernel exit, and differentially compare final \
+          states across scheduler variants. Exits non-zero on any failure.")
+    Term.(const run $ smoke_arg $ seed_arg $ l2_arg)
 
 let pins_cmd =
   let run build =
@@ -427,4 +467,5 @@ let () =
             pins_cmd;
             trace_cmd;
             metrics_cmd;
+            inject_cmd;
           ]))

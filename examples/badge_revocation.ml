@@ -73,4 +73,4 @@ let () =
     clients;
   match Sel4.Invariants.check_result k with
   | Ok () -> Fmt.pr "Invariant catalogue: OK@."
-  | Error m -> Fmt.pr "Invariant violated: %s@." m
+  | Error ms -> Fmt.pr "Invariant violated: %s@." (String.concat "; " ms)

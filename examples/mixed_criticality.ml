@@ -80,7 +80,7 @@ let run build =
   done;
   (match Sel4.Invariants.check_result k with
   | Ok () -> ()
-  | Error m -> Fmt.pr "  INVARIANT VIOLATION: %s@." m);
+  | Error ms -> Fmt.pr "  INVARIANT VIOLATION: %s@." (String.concat "; " ms));
   (!interrupts, K.worst_irq_latency k, K.preempted_events k)
 
 let () =

@@ -69,4 +69,4 @@ let () =
   (* All kernel invariants still hold. *)
   match Sel4.Invariants.check_result env.B.k with
   | Ok () -> Fmt.pr "Invariant catalogue: OK@."
-  | Error m -> Fmt.pr "Invariant violated: %s@." m
+  | Error ms -> Fmt.pr "Invariant violated: %s@." (String.concat "; " ms)

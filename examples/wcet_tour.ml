@@ -10,6 +10,7 @@
 let () =
   let config = Hw.Config.default in
   let build = Sel4.Build.improved in
+  let ctx = Sel4_rt.Analysis_ctx.make ~config ~build () in
 
   Fmt.pr "1. Automatically computed loop bounds (slicing + model checking)@.";
   List.iter
@@ -18,7 +19,7 @@ let () =
 
   Fmt.pr "@.2. IPET analysis of the interrupt entry point@.";
   let result =
-    Sel4_rt.Response_time.computed ~config build Sel4_rt.Kernel_model.Interrupt
+    Sel4_rt.Response_time.computed ctx Sel4_rt.Kernel_model.Interrupt
   in
   Fmt.pr "   ILP: %d variables, %d constraints, %d branch-and-bound nodes@."
     result.Wcet.Ipet.ilp_vars result.Wcet.Ipet.ilp_constraints
@@ -33,8 +34,7 @@ let () =
 
   Fmt.pr "@.3. Adversarial measurement on the executable kernel@.";
   let observed =
-    Sel4_rt.Response_time.observed ~runs:10 ~config build
-      Sel4_rt.Kernel_model.Interrupt
+    Sel4_rt.Response_time.observed ~runs:10 ctx Sel4_rt.Kernel_model.Interrupt
   in
   Fmt.pr "   observed worst case: %d cycles; computed/observed = %.2f@."
     observed
@@ -45,12 +45,15 @@ let () =
   Fmt.pr "   %a@." Sel4_rt.Pinning.pp selection;
   let pinned =
     Sel4_rt.Response_time.computed
-      ~pins:
-        {
-          Sel4_rt.Response_time.code = selection.Sel4_rt.Pinning.code_lines;
-          data = selection.Sel4_rt.Pinning.data_lines;
-        }
-      ~config:(Hw.Config.with_pinning config) build Sel4_rt.Kernel_model.Interrupt
+      (Sel4_rt.Analysis_ctx.make
+         ~config:(Hw.Config.with_pinning config)
+         ~pins:
+           {
+             Sel4_rt.Analysis_ctx.code = selection.Sel4_rt.Pinning.code_lines;
+             data = selection.Sel4_rt.Pinning.data_lines;
+           }
+         ~build ())
+      Sel4_rt.Kernel_model.Interrupt
   in
   Fmt.pr "   WCET bound with pinning: %d cycles (%.0f%% lower)@."
     pinned.Wcet.Ipet.wcet
@@ -61,4 +64,4 @@ let () =
   Fmt.pr "@.5. Interrupt response bound (syscall WCET + interrupt WCET)@.";
   Fmt.pr "   %.1f us@."
     (Hw.Config.cycles_to_us config
-       (Sel4_rt.Response_time.interrupt_response_bound ~config build))
+       (Sel4_rt.Response_time.interrupt_response_bound ctx))

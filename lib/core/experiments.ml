@@ -47,8 +47,6 @@ type table1_row = {
 }
 
 let table1 () =
-  let config = Hw.Config.default in
-  let pinned_config = Hw.Config.with_pinning config in
   let selection = Pinning.select improved in
   let pins =
     {
@@ -56,15 +54,19 @@ let table1 () =
       data = selection.Pinning.data_lines;
     }
   in
+  let plain = Analysis_ctx.make ~build:improved () in
+  let pinned =
+    Analysis_ctx.make
+      ~config:(Hw.Config.with_pinning Hw.Config.default)
+      ~pins ~build:improved ()
+  in
   let cells =
     batch
       (List.concat_map
          (fun entry ->
            [
-             (fun () -> Response_time.computed_cycles ~config improved entry);
-             (fun () ->
-               Response_time.computed_cycles ~pins ~config:pinned_config
-                 improved entry);
+             (fun () -> Response_time.computed_cycles plain entry);
+             (fun () -> Response_time.computed_cycles pinned entry);
            ])
          Kernel_model.entry_points)
   in
@@ -123,23 +125,22 @@ type table2_row = {
 }
 
 let table2 ?(runs = 15) () =
-  let off = Hw.Config.default and on = Hw.Config.with_l2 in
+  let before_off = Analysis_ctx.make ~build:original () in
+  let after_off = Analysis_ctx.make ~build:improved () in
+  let after_on = Analysis_ctx.make ~config:Hw.Config.with_l2 ~build:improved () in
   let cells =
     batch
       (List.concat_map
          (fun entry ->
            [
+             (fun () -> C (Response_time.computed_cycles before_off entry));
+             (fun () -> C (Response_time.computed_cycles after_off entry));
              (fun () ->
-               C (Response_time.computed_cycles ~config:off original entry));
-             (fun () ->
-               C (Response_time.computed_cycles ~config:off improved entry));
-             (fun () ->
-               let v, p = Response_time.observed_traced ~runs ~config:off improved entry in
+               let v, p = Response_time.observed_traced ~runs after_off entry in
                O (v, p));
+             (fun () -> C (Response_time.computed_cycles after_on entry));
              (fun () ->
-               C (Response_time.computed_cycles ~config:on improved entry));
-             (fun () ->
-               let v, p = Response_time.observed_traced ~runs ~config:on improved entry in
+               let v, p = Response_time.observed_traced ~runs after_on entry in
                O (v, p));
            ])
          Kernel_model.entry_points)
@@ -198,16 +199,17 @@ type fig8_row = {
 }
 
 let fig8 ?(runs = 15) () =
-  let off = Hw.Config.default and on = Hw.Config.with_l2 in
+  let off = Analysis_ctx.make ~build:improved () in
+  let on = Analysis_ctx.make ~config:Hw.Config.with_l2 ~build:improved () in
   let cells =
     batch
       (List.concat_map
          (fun entry ->
            [
-             (fun () -> Response_time.computed_for_path ~config:off improved entry);
-             (fun () -> Response_time.observed ~runs ~config:off improved entry);
-             (fun () -> Response_time.computed_for_path ~config:on improved entry);
-             (fun () -> Response_time.observed ~runs ~config:on improved entry);
+             (fun () -> Response_time.computed_for_path off entry);
+             (fun () -> Response_time.observed ~runs off entry);
+             (fun () -> Response_time.computed_for_path on entry);
+             (fun () -> Response_time.observed ~runs on entry);
            ])
          Kernel_model.entry_points)
   in
@@ -247,8 +249,9 @@ type fig9_row = {
 }
 
 let fig9 ?(runs = 15) () =
-  let obs ~config entry () =
-    let v, p = Response_time.observed_traced ~runs ~config improved entry in
+  let obs config entry () =
+    let ctx = Analysis_ctx.make ~config ~build:improved () in
+    let v, p = Response_time.observed_traced ~runs ctx entry in
     O (v, p)
   in
   let cells =
@@ -256,10 +259,10 @@ let fig9 ?(runs = 15) () =
       (List.concat_map
          (fun entry ->
            [
-             obs ~config:Hw.Config.baseline entry;
-             obs ~config:Hw.Config.with_l2 entry;
-             obs ~config:Hw.Config.with_branch_predictor entry;
-             obs ~config:Hw.Config.with_l2_and_branch_predictor entry;
+             obs Hw.Config.baseline entry;
+             obs Hw.Config.with_l2 entry;
+             obs Hw.Config.with_branch_predictor entry;
+             obs Hw.Config.with_l2_and_branch_predictor entry;
            ])
          Kernel_model.entry_points)
   in
@@ -309,7 +312,8 @@ let fig7 ?(runs = 8) () =
       {
         depth;
         syscall_cycles =
-          Response_time.observed ~runs ~params ~config:Hw.Config.default improved
+          Response_time.observed ~runs
+            (Analysis_ctx.make ~params ~build:improved ())
             Kernel_model.Syscall;
       })
     [ 1; 2; 4; 8; 16; 32 ]
@@ -537,14 +541,15 @@ let l2_locked_config () =
     ~bytes:Sel4.Layout.text_bytes Hw.Config.with_l2
 
 let l2_lock ?(runs = 10) () =
-  let locked = l2_locked_config () in
+  let plain = Analysis_ctx.make ~config:Hw.Config.with_l2 ~build:improved () in
+  let locked = Analysis_ctx.make ~config:(l2_locked_config ()) ~build:improved () in
   List.map
     (fun entry ->
       {
         ll_entry = entry;
-        l2_plain = Response_time.computed_cycles ~config:Hw.Config.with_l2 improved entry;
-        l2_locked = Response_time.computed_cycles ~config:locked improved entry;
-        ll_observed = Response_time.observed ~runs ~config:locked improved entry;
+        l2_plain = Response_time.computed_cycles plain entry;
+        l2_locked = Response_time.computed_cycles locked entry;
+        ll_observed = Response_time.observed ~runs locked entry;
       })
     Kernel_model.entry_points
 
@@ -558,7 +563,10 @@ let print_l2_lock rows =
         r.l2_plain r.l2_locked r.ll_observed)
     rows;
   let locked = l2_locked_config () in
-  let bound = Response_time.interrupt_response_bound ~config:locked improved in
+  let bound =
+    Response_time.interrupt_response_bound
+      (Analysis_ctx.make ~config:locked ~build:improved ())
+  in
   Fmt.pr
     "Interrupt response bound with the kernel locked in: %d cycles (%.1f us)@."
     bound
@@ -572,15 +580,18 @@ type call_preempt_row = { atomic_call : int; preemptible_call : int }
 (* "The execution time of this operation could be almost halved ... by
    inserting a preemption point between the send and receive phases." *)
 let call_preempt () =
-  let config = Hw.Config.default in
   let atomic_call =
-    Response_time.computed_cycles ~config improved Kernel_model.Syscall
+    Response_time.computed_cycles
+      (Analysis_ctx.make ~build:improved ())
+      Kernel_model.Syscall
   in
   let params =
     { Kernel_model.default_params with Kernel_model.preemptible_call = true }
   in
   let preemptible_call =
-    Response_time.computed_cycles ~params ~config improved Kernel_model.Syscall
+    Response_time.computed_cycles
+      (Analysis_ctx.make ~params ~build:improved ())
+      Kernel_model.Syscall
   in
   { atomic_call; preemptible_call }
 
@@ -647,15 +658,20 @@ type replacement_row = {
    directly; the one-way conservative analysis is sound for either policy.
    Here both executions run under the same bound. *)
 let replacement ?(runs = 10) () =
-  let lru = Hw.Config.default in
-  let rr = { Hw.Config.default with Hw.Config.replacement = Hw.Config.Round_robin } in
+  let lru = Analysis_ctx.make ~build:improved () in
+  let rr =
+    Analysis_ctx.make
+      ~config:
+        { Hw.Config.default with Hw.Config.replacement = Hw.Config.Round_robin }
+      ~build:improved ()
+  in
   List.map
     (fun entry ->
       {
         rp_entry = entry;
-        lru_observed = Response_time.observed ~runs ~config:lru improved entry;
-        rr_observed = Response_time.observed ~runs ~config:rr improved entry;
-        bound = Response_time.computed_cycles ~config:lru improved entry;
+        lru_observed = Response_time.observed ~runs lru entry;
+        rr_observed = Response_time.observed ~runs rr entry;
+        bound = Response_time.computed_cycles lru entry;
       })
     Kernel_model.entry_points
 
@@ -707,21 +723,21 @@ let summary () =
     (K.Ev_call { ep = 10; badge_hint = 0; msg_len = 2; extra_caps = [] });
   let fastpath_cycles = K.cycles env.B.k - before in
   let config = Hw.Config.default in
+  let before_ctx = Analysis_ctx.make ~build:original () in
+  let after_ctx = Analysis_ctx.make ~build:improved () in
+  let after_l2 = Analysis_ctx.make ~config:Hw.Config.with_l2 ~build:improved () in
   match
     batch
       [
         (fun () ->
-          C (Response_time.computed_cycles ~config original Kernel_model.Syscall));
+          C (Response_time.computed_cycles before_ctx Kernel_model.Syscall));
         (fun () ->
-          C (Response_time.computed_cycles ~config improved Kernel_model.Syscall));
-        (fun () -> C (Response_time.interrupt_response_bound ~config improved));
-        (fun () ->
-          C
-            (Response_time.interrupt_response_bound ~config:Hw.Config.with_l2
-               improved));
+          C (Response_time.computed_cycles after_ctx Kernel_model.Syscall));
+        (fun () -> C (Response_time.interrupt_response_bound after_ctx));
+        (fun () -> C (Response_time.interrupt_response_bound after_l2));
         (fun () ->
           let v, p =
-            Response_time.observed_traced ~config improved Kernel_model.Interrupt
+            Response_time.observed_traced after_ctx Kernel_model.Interrupt
           in
           O (v, p));
       ]

@@ -21,7 +21,9 @@ let way_capacity config = config.Hw.Config.l1_sets
 (* Collect the (kind, line) access histogram of one interrupt delivery. *)
 let trace_interrupt_delivery build =
   let config = Hw.Config.default in
-  let s = Workloads.scenario ~config build Kernel_model.Interrupt in
+  let s =
+    Workloads.scenario (Analysis_ctx.make ~build ()) Kernel_model.Interrupt
+  in
   let code : (int, int) Hashtbl.t = Hashtbl.create 64 in
   let data : (int, int) Hashtbl.t = Hashtbl.create 64 in
   let bump tbl line = Hashtbl.replace tbl line (1 + try Hashtbl.find tbl line with Not_found -> 0) in

@@ -2,40 +2,64 @@
    (adversarial execution) worst cases per kernel entry point, and the
    headline quantity of the paper — the worst-case interrupt response
    time, which is the sum of the longest kernel operation (the system-call
-   path) and the interrupt path (Section 6). *)
+   path) and the interrupt path (Section 6).
 
-type pins = { code : int list; data : int list }
+   All drivers take an {!Analysis_ctx.t}; the former optional-label
+   signatures survive as deprecated [*_legacy] wrappers. *)
 
-let no_pins = { code = []; data = [] }
+type pins = Analysis_ctx.pins = { code : int list; data : int list }
+
+let no_pins = Analysis_ctx.no_pins
 
 (* All computed (IPET) quantities route through the analysis-engine cache:
    identical (build, entry, config, pins, params, forced) tuples are
    analysed once per process, whichever experiment asks first. *)
 
-let computed ?params ?(pins = no_pins) ~config build entry =
-  Analysis_cache.computed ?params ~pinned_code:pins.code ~pinned_data:pins.data
-    ~config build entry
+let computed (ctx : Analysis_ctx.t) entry =
+  Analysis_cache.computed ~params:ctx.Analysis_ctx.params
+    ~pinned_code:ctx.Analysis_ctx.pins.code
+    ~pinned_data:ctx.Analysis_ctx.pins.data ~config:ctx.Analysis_ctx.config
+    ctx.Analysis_ctx.build entry
 
-let computed_cycles ?params ?pins ~config build entry =
-  (computed ?params ?pins ~config build entry).Wcet.Ipet.wcet
+let computed_cycles ctx entry = (computed ctx entry).Wcet.Ipet.wcet
 
 (* Computed execution time of the realisable path (Section 6.2: extra ILP
    constraints force analysis of the tested path). *)
-let computed_for_path ?(params = Kernel_model.default_params) ~config build
-    entry =
+let computed_for_path (ctx : Analysis_ctx.t) entry =
+  let params = ctx.Analysis_ctx.params in
   let forced = Kernel_model.realisable_path ~params entry in
-  (Analysis_cache.computed ~params ~forced ~config build entry).Wcet.Ipet.wcet
+  (Analysis_cache.computed ~params ~pinned_code:ctx.Analysis_ctx.pins.code
+     ~pinned_data:ctx.Analysis_ctx.pins.data ~forced
+     ~config:ctx.Analysis_ctx.config ctx.Analysis_ctx.build entry)
+    .Wcet.Ipet.wcet
 
-let observed ?runs ?params ~config build entry =
-  Workloads.observed ?runs ?params ~config build entry
-
-let observed_traced ?runs ?params ~config build entry =
-  Workloads.observed_traced ?runs ?params ~config build entry
+let observed ?runs ctx entry = Workloads.observed ?runs ctx entry
+let observed_traced ?runs ctx entry = Workloads.observed_traced ?runs ctx entry
 
 (* Worst-case interrupt response: the longest non-preemptible kernel path
    (the system call handler) plus the interrupt path itself. *)
-let interrupt_response_bound ?params ?pins ~config build =
-  computed_cycles ?params ?pins ~config build Kernel_model.Syscall
-  + computed_cycles ?params ?pins ~config build Kernel_model.Interrupt
+let interrupt_response_bound ctx =
+  computed_cycles ctx Kernel_model.Syscall
+  + computed_cycles ctx Kernel_model.Interrupt
 
 let us config cycles = Hw.Config.cycles_to_us config cycles
+
+(* --- deprecated label-style wrappers --- *)
+
+let computed_legacy ?params ?pins ~config build entry =
+  computed (Analysis_ctx.make ?params ?pins ~config ~build ()) entry
+
+let computed_cycles_legacy ?params ?pins ~config build entry =
+  computed_cycles (Analysis_ctx.make ?params ?pins ~config ~build ()) entry
+
+let computed_for_path_legacy ?params ~config build entry =
+  computed_for_path (Analysis_ctx.make ?params ~config ~build ()) entry
+
+let observed_legacy ?runs ?params ~config build entry =
+  observed ?runs (Analysis_ctx.make ?params ~config ~build ()) entry
+
+let observed_traced_legacy ?runs ?params ~config build entry =
+  observed_traced ?runs (Analysis_ctx.make ?params ~config ~build ()) entry
+
+let interrupt_response_bound_legacy ?params ?pins ~config build =
+  interrupt_response_bound (Analysis_ctx.make ?params ?pins ~config ~build ())

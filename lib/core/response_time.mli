@@ -3,61 +3,88 @@
 
     The headline quantity follows Section 6: worst-case interrupt
     response = WCET of the longest kernel operation (the system-call
-    path) + WCET of the interrupt path. *)
+    path) + WCET of the interrupt path.
 
-type pins = { code : int list; data : int list }
+    All drivers take an {!Analysis_ctx.t}; the optional-label signatures
+    of earlier releases survive as deprecated [*_legacy] wrappers. *)
+
+type pins = Analysis_ctx.pins = { code : int list; data : int list }
+(** Re-export of {!Analysis_ctx.pins} under its historical name. *)
 
 val no_pins : pins
 
-val computed :
+val computed : Analysis_ctx.t -> Kernel_model.entry_point -> Wcet.Ipet.result
+val computed_cycles : Analysis_ctx.t -> Kernel_model.entry_point -> int
+
+val computed_for_path : Analysis_ctx.t -> Kernel_model.entry_point -> int
+(** Predicted time of the realisable path the workloads execute, obtained
+    by forcing the ILP (Section 6.2); the Figure 8 numerator. *)
+
+val observed : ?runs:int -> Analysis_ctx.t -> Kernel_model.entry_point -> int
+(** Worst cycles over [runs] polluted-cache adversarial executions. *)
+
+val observed_traced :
+  ?runs:int ->
+  Analysis_ctx.t ->
+  Kernel_model.entry_point ->
+  int * Workloads.provenance
+(** Same worst case as {!observed} (the attached event trace never charges
+    cycles), plus the latency attribution of the worst run. *)
+
+val interrupt_response_bound : Analysis_ctx.t -> int
+
+val us : Hw.Config.t -> int -> float
+
+(** {1 Deprecated wrappers} *)
+
+val computed_legacy :
   ?params:Kernel_model.params ->
   ?pins:pins ->
   config:Hw.Config.t ->
   Sel4.Build.t ->
   Kernel_model.entry_point ->
   Wcet.Ipet.result
+[@@deprecated "use Response_time.computed with an Analysis_ctx.t"]
 
-val computed_cycles :
+val computed_cycles_legacy :
   ?params:Kernel_model.params ->
   ?pins:pins ->
   config:Hw.Config.t ->
   Sel4.Build.t ->
   Kernel_model.entry_point ->
   int
+[@@deprecated "use Response_time.computed_cycles with an Analysis_ctx.t"]
 
-val computed_for_path :
+val computed_for_path_legacy :
   ?params:Kernel_model.params ->
   config:Hw.Config.t ->
   Sel4.Build.t ->
   Kernel_model.entry_point ->
   int
-(** Predicted time of the realisable path the workloads execute, obtained
-    by forcing the ILP (Section 6.2); the Figure 8 numerator. *)
+[@@deprecated "use Response_time.computed_for_path with an Analysis_ctx.t"]
 
-val observed :
+val observed_legacy :
   ?runs:int ->
   ?params:Kernel_model.params ->
   config:Hw.Config.t ->
   Sel4.Build.t ->
   Kernel_model.entry_point ->
   int
-(** Worst cycles over [runs] polluted-cache adversarial executions. *)
+[@@deprecated "use Response_time.observed with an Analysis_ctx.t"]
 
-val observed_traced :
+val observed_traced_legacy :
   ?runs:int ->
   ?params:Kernel_model.params ->
   config:Hw.Config.t ->
   Sel4.Build.t ->
   Kernel_model.entry_point ->
   int * Workloads.provenance
-(** Same worst case as {!observed} (the attached event trace never charges
-    cycles), plus the latency attribution of the worst run. *)
+[@@deprecated "use Response_time.observed_traced with an Analysis_ctx.t"]
 
-val interrupt_response_bound :
+val interrupt_response_bound_legacy :
   ?params:Kernel_model.params ->
   ?pins:pins ->
   config:Hw.Config.t ->
   Sel4.Build.t ->
   int
-
-val us : Hw.Config.t -> int -> float
+[@@deprecated "use Response_time.interrupt_response_bound with an Analysis_ctx.t"]

@@ -66,9 +66,10 @@ let place_leaf k nodes ~level cap =
 (* The worst-case system call: an atomic send with a full-length message
    and granted capabilities, every capability address decoding through the
    full-depth space, delivered to a waiting (badged) receiver. *)
-let worst_syscall ?(params = Kernel_model.default_params) ~config build =
-  let cpu = Hw.Cpu.create config in
-  let env = B.boot ~cpu build in
+let worst_syscall (ctx : Analysis_ctx.t) =
+  let params = ctx.Analysis_ctx.params in
+  let cpu = Hw.Cpu.create ctx.Analysis_ctx.config in
+  let env = B.boot ~cpu ctx.Analysis_ctx.build in
   let k = env.B.k in
   let ep = B.spawn_endpoint env ~dest:10 in
   ignore ep;
@@ -118,10 +119,9 @@ let worst_syscall ?(params = Kernel_model.default_params) ~config build =
   }
 
 (* Worst interrupt: handler registered and waiting, polluted caches. *)
-let worst_interrupt ?(params = Kernel_model.default_params) ~config build =
-  ignore params;
-  let cpu = Hw.Cpu.create config in
-  let env = B.boot ~cpu build in
+let worst_interrupt (ctx : Analysis_ctx.t) =
+  let cpu = Hw.Cpu.create ctx.Analysis_ctx.config in
+  let env = B.boot ~cpu ctx.Analysis_ctx.build in
   let k = env.B.k in
   let _ep = B.spawn_endpoint env ~dest:10 in
   let handler = B.spawn_thread env ~priority:200 ~dest:11 in
@@ -142,9 +142,10 @@ let worst_interrupt ?(params = Kernel_model.default_params) ~config build =
 (* Worst fault: fault-handler endpoint addressed through the full-depth
    capability space (one decode, as the paper notes for these entry
    points), pager waiting. *)
-let worst_fault ?(params = Kernel_model.default_params) ~config build ~event =
-  let cpu = Hw.Cpu.create config in
-  let env = B.boot ~cpu build in
+let worst_fault (ctx : Analysis_ctx.t) ~event =
+  let params = ctx.Analysis_ctx.params in
+  let cpu = Hw.Cpu.create ctx.Analysis_ctx.config in
+  let env = B.boot ~cpu ctx.Analysis_ctx.build in
   let k = env.B.k in
   let _ep = B.spawn_endpoint env ~dest:10 in
   let pager = B.spawn_thread env ~priority:200 ~dest:11 in
@@ -165,14 +166,14 @@ let worst_fault ?(params = Kernel_model.default_params) ~config build ~event =
   K.force_run k env.B.root_tcb;
   { env; cpu; measured_event = event; victim = env.B.root_tcb }
 
-let scenario ?params ~config build entry =
+let scenario ctx entry =
   match entry with
-  | Kernel_model.Syscall -> worst_syscall ?params ~config build
-  | Kernel_model.Interrupt -> worst_interrupt ?params ~config build
+  | Kernel_model.Syscall -> worst_syscall ctx
+  | Kernel_model.Interrupt -> worst_interrupt ctx
   | Kernel_model.Page_fault ->
-      worst_fault ?params ~config build ~event:(K.Ev_page_fault { vaddr = 0xdead000 })
+      worst_fault ctx ~event:(K.Ev_page_fault { vaddr = 0xdead000 })
   | Kernel_model.Undefined_instruction ->
-      worst_fault ?params ~config build ~event:K.Ev_undefined_instruction
+      worst_fault ctx ~event:K.Ev_undefined_instruction
 
 (* Measure one kernel entry with polluted caches; the scenario is reused
    across seeds (only cache contents vary). *)
@@ -188,7 +189,14 @@ let measure_once scenario ~seed =
   let cycles = Hw.Cpu.cycles scenario.cpu - before in
   (outcome, cycles)
 
-exception Scenario_failed of string
+exception
+  Scenario_failed of { entry : string; seed : int; reason : string }
+
+let () =
+  Printexc.register_printer (function
+    | Scenario_failed { entry; seed; reason } ->
+        Some (Fmt.str "Scenario_failed(entry=%s seed=%d: %s)" entry seed reason)
+    | _ -> None)
 
 (* Fold one run's hardware counters into the global metrics registry, so
    `sel4rt metrics` and `bench --json` report total simulated work. *)
@@ -202,21 +210,23 @@ let note_hw_metrics cpu =
   add "hw.cycles" c.Hw.Cpu.cycles;
   add "hw.stall_cycles" (Hw.Cpu.stall_cycles cpu)
 
-let check_outcome entry outcome =
+let check_outcome entry ~seed outcome =
   match outcome with
   | K.Failed e ->
-      raise (Scenario_failed (Kernel_model.entry_name entry ^ ": " ^ e))
+      raise
+        (Scenario_failed
+           { entry = Kernel_model.entry_name entry; seed; reason = e })
   | K.Completed | K.Preempted -> ()
 
 (* Observed worst case: maximum over polluted runs.  Every run must leave
    the system able to repeat the measurement, so the syscall scenario
    rebuilds the rendezvous between runs. *)
-let observed ?(runs = 25) ?params ~config build entry =
+let observed ?(runs = 25) ctx entry =
   let worst = ref 0 in
   for seed = 1 to runs do
-    let s = scenario ?params ~config build entry in
+    let s = scenario ctx entry in
     let outcome, cycles = measure_once s ~seed in
-    check_outcome entry outcome;
+    check_outcome entry ~seed outcome;
     note_hw_metrics s.cpu;
     if cycles > !worst then worst := cycles
   done;
@@ -244,8 +254,8 @@ let pp_provenance ppf p =
 
 (* Run one scenario with an event trace attached.  Emission charges
    nothing, so the cycle count is identical to an untraced run. *)
-let run_traced ?params ~config ~buf ~seed build entry =
-  let s = scenario ?params ~config build entry in
+let run_traced ~buf ~seed ctx entry =
+  let s = scenario ctx entry in
   Hw.Cpu.set_trace_buffer s.cpu buf;
   let outcome, cycles = measure_once s ~seed in
   Hw.Cpu.clear_trace_buffer s.cpu;
@@ -282,7 +292,7 @@ let attribute entry events =
    trace buffer never charges cycles), plus the attribution of the worst
    run — which section it sat in, how far the next preemption point was,
    and the stall/compute split. *)
-let observed_traced ?(runs = 25) ?params ~config build entry =
+let observed_traced ?(runs = 25) ctx entry =
   let name = Kernel_model.entry_name entry in
   let worst = ref 0 in
   let prov =
@@ -298,13 +308,13 @@ let observed_traced ?(runs = 25) ?params ~config build entry =
       }
   in
   for seed = 1 to runs do
-    let s = scenario ?params ~config build entry in
+    let s = scenario ctx entry in
     let buf = Obs.Trace.create () in
     Hw.Cpu.set_trace_buffer s.cpu buf;
     let outcome, cycles = measure_once s ~seed in
     Hw.Cpu.clear_trace_buffer s.cpu;
     note_hw_metrics s.cpu;
-    check_outcome entry outcome;
+    check_outcome entry ~seed outcome;
     if cycles > !worst || seed = 1 then begin
       if cycles > !worst then worst := cycles;
       match attribute entry (Obs.Trace.events buf) with
@@ -323,3 +333,17 @@ let observed_traced ?(runs = 25) ?params ~config build entry =
     end
   done;
   (!worst, !prov)
+
+(* --- deprecated label-style wrappers --- *)
+
+let scenario_legacy ?params ~config build entry =
+  scenario (Analysis_ctx.make ?params ~config ~build ()) entry
+
+let observed_legacy ?runs ?params ~config build entry =
+  observed ?runs (Analysis_ctx.make ?params ~config ~build ()) entry
+
+let run_traced_legacy ?params ~config ~buf ~seed build entry =
+  run_traced ~buf ~seed (Analysis_ctx.make ?params ~config ~build ()) entry
+
+let observed_traced_legacy ?runs ?params ~config build entry =
+  observed_traced ?runs (Analysis_ctx.make ?params ~config ~build ()) entry

@@ -1,7 +1,10 @@
 (** Adversarial workloads: best-effort recreation of worst cases on the
     executable kernel (Section 5.4).  Caches are polluted with dirty lines
     before each measured entry; the observed worst case is the maximum
-    over several pollution seeds. *)
+    over several pollution seeds.
+
+    Drivers take an {!Analysis_ctx.t}; the optional-label signatures of
+    earlier releases survive as deprecated [*_legacy] wrappers. *)
 
 type scenario = {
   env : Sel4.Boot.env;
@@ -10,7 +13,9 @@ type scenario = {
   victim : Sel4.Ktypes.tcb;  (** the thread that traps for the event *)
 }
 
-exception Scenario_failed of string
+exception Scenario_failed of { entry : string; seed : int; reason : string }
+(** A measured event failed outright: which entry point, under which
+    pollution seed, and the kernel's error message. *)
 
 val build_deep_cspace :
   Sel4.Boot.env -> depth:int -> Sel4.Ktypes.cap * Sel4.Ktypes.cnode array
@@ -22,12 +27,7 @@ val place_leaf :
 (** Install a leaf capability reachable through [level+1] decode levels;
     returns its capability address. *)
 
-val scenario :
-  ?params:Kernel_model.params ->
-  config:Hw.Config.t ->
-  Sel4.Build.t ->
-  Kernel_model.entry_point ->
-  scenario
+val scenario : Analysis_ctx.t -> Kernel_model.entry_point -> scenario
 (** Construct the worst-case scenario for one entry point: full-depth
     decodes, maximum message, granted capabilities, waiting receiver /
     registered handler / deep fault-handler address. *)
@@ -35,13 +35,7 @@ val scenario :
 val measure_once : scenario -> seed:int -> Sel4.Kernel.outcome * int
 (** Pollute the caches with [seed] and measure one kernel entry. *)
 
-val observed :
-  ?runs:int ->
-  ?params:Kernel_model.params ->
-  config:Hw.Config.t ->
-  Sel4.Build.t ->
-  Kernel_model.entry_point ->
-  int
+val observed : ?runs:int -> Analysis_ctx.t -> Kernel_model.entry_point -> int
 (** Maximum observed cycles over [runs] freshly built scenarios.
     @raise Scenario_failed if the measured event fails outright. *)
 
@@ -60,11 +54,9 @@ type provenance = {
 val pp_provenance : provenance Fmt.t
 
 val run_traced :
-  ?params:Kernel_model.params ->
-  config:Hw.Config.t ->
   buf:Obs.Trace.t ->
   seed:int ->
-  Sel4.Build.t ->
+  Analysis_ctx.t ->
   Kernel_model.entry_point ->
   Sel4.Kernel.outcome * int
 (** Build the scenario, attach [buf], pollute with [seed] and measure one
@@ -72,11 +64,47 @@ val run_traced :
 
 val observed_traced :
   ?runs:int ->
-  ?params:Kernel_model.params ->
-  config:Hw.Config.t ->
-  Sel4.Build.t ->
+  Analysis_ctx.t ->
   Kernel_model.entry_point ->
   int * provenance
 (** Same maximum as {!observed} (tracing never charges cycles), plus the
     latency attribution of the worst run.
     @raise Scenario_failed if the measured event fails outright. *)
+
+(** {1 Deprecated wrappers} *)
+
+val scenario_legacy :
+  ?params:Kernel_model.params ->
+  config:Hw.Config.t ->
+  Sel4.Build.t ->
+  Kernel_model.entry_point ->
+  scenario
+[@@deprecated "use Workloads.scenario with an Analysis_ctx.t"]
+
+val observed_legacy :
+  ?runs:int ->
+  ?params:Kernel_model.params ->
+  config:Hw.Config.t ->
+  Sel4.Build.t ->
+  Kernel_model.entry_point ->
+  int
+[@@deprecated "use Workloads.observed with an Analysis_ctx.t"]
+
+val run_traced_legacy :
+  ?params:Kernel_model.params ->
+  config:Hw.Config.t ->
+  buf:Obs.Trace.t ->
+  seed:int ->
+  Sel4.Build.t ->
+  Kernel_model.entry_point ->
+  Sel4.Kernel.outcome * int
+[@@deprecated "use Workloads.run_traced with an Analysis_ctx.t"]
+
+val observed_traced_legacy :
+  ?runs:int ->
+  ?params:Kernel_model.params ->
+  config:Hw.Config.t ->
+  Sel4.Build.t ->
+  Kernel_model.entry_point ->
+  int * provenance
+[@@deprecated "use Workloads.observed_traced with an Analysis_ctx.t"]

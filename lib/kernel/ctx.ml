@@ -19,6 +19,13 @@ type t = {
   mutable irq_latency_worst : int;
   mutable irq_latency_last : int;
   mutable preempt_count : int;  (* preemption points taken (not checks) *)
+  mutable preempt_polls : int;  (* preemption points polled (taken or not) *)
+  mutable on_preempt_poll : (int -> bool) option;
+      (* Fault-injection hook: called with the 1-based poll index at every
+         preemption-point poll, *before* the pending check.  Returning
+         [true] asserts an interrupt at exactly this poll — the mechanism
+         the injection campaigns use to hit the k-th preemption point
+         deterministically, independent of cycle counts. *)
 }
 
 let create ?cpu build =
@@ -30,6 +37,8 @@ let create ?cpu build =
     irq_latency_worst = 0;
     irq_latency_last = 0;
     preempt_count = 0;
+    preempt_polls = 0;
+    on_preempt_poll = None;
   }
 
 let cycles t = match t.cpu with Some cpu -> Hw.Cpu.cycles cpu | None -> 0
@@ -121,6 +130,10 @@ let note_irq_taken t =
 let preemption_point t =
   exec t "preempt_check" Costs.preempt_check_instrs;
   load t Layout.irq_pending_word;
+  t.preempt_polls <- t.preempt_polls + 1;
+  (match t.on_preempt_poll with
+  | Some hook -> if hook t.preempt_polls then raise_irq t
+  | None -> ());
   let taken =
     if t.build.Build.preemption_points && irq_pending t then begin
       t.preempt_count <- t.preempt_count + 1;

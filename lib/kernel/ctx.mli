@@ -10,6 +10,11 @@ type t = {
   mutable irq_latency_worst : int;
   mutable irq_latency_last : int;
   mutable preempt_count : int;
+  mutable preempt_polls : int;  (** preemption points polled (taken or not) *)
+  mutable on_preempt_poll : (int -> bool) option;
+      (** fault-injection hook: called with the 1-based poll index before
+          the pending check; returning [true] asserts an interrupt at
+          exactly this poll (install via {!Kernel.set_injection_hook}) *)
 }
 
 val create : ?cpu:Hw.Cpu.t -> Build.t -> t

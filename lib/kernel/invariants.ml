@@ -274,15 +274,33 @@ let check_cleared (k : Kernel.t) =
       | _ -> ())
     k.Kernel.objects
 
-(* Run the whole catalogue. *)
-let check (k : Kernel.t) =
-  check_run_queues k;
-  check_endpoints k;
-  check_notifications k;
-  check_alignment k;
-  check_cdt k;
-  check_shadow_tables k;
-  check_kernel_mappings k;
-  check_cleared k
+(* The catalogue, named for reporting. *)
+let catalogue =
+  [
+    ("run_queues", check_run_queues);
+    ("endpoints", check_endpoints);
+    ("notifications", check_notifications);
+    ("alignment", check_alignment);
+    ("cdt", check_cdt);
+    ("shadow_tables", check_shadow_tables);
+    ("kernel_mappings", check_kernel_mappings);
+    ("cleared", check_cleared);
+  ]
 
-let check_result k = try Result.Ok (check k) with Violation m -> Result.Error m
+(* Run the whole catalogue, stopping at the first violation. *)
+let check (k : Kernel.t) = List.iter (fun (_, chk) -> chk k) catalogue
+
+(* Run the whole catalogue to the end and report every violation (one per
+   failing check), so injection failure reports show the complete damage
+   rather than whichever invariant happens to be checked first. *)
+let check_result k =
+  let violations =
+    List.filter_map
+      (fun (name, chk) ->
+        try
+          chk k;
+          None
+        with Violation m -> Some (name ^ ": " ^ m))
+      catalogue
+  in
+  match violations with [] -> Result.Ok () | vs -> Result.Error vs

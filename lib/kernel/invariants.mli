@@ -7,9 +7,15 @@
 exception Violation of string
 
 val check : Kernel.t -> unit
-(** Run the whole catalogue.  @raise Violation with a description. *)
+(** Run the whole catalogue.  @raise Violation at the first failure. *)
 
-val check_result : Kernel.t -> (unit, string) Result.t
+val check_result : Kernel.t -> (unit, string list) Result.t
+(** Run the whole catalogue to the end and return {e every} violation
+    (one per failing check, prefixed with the check's name), so failure
+    reports show the complete damage rather than only the first hit. *)
+
+val catalogue : (string * (Kernel.t -> unit)) list
+(** The named checks, in the order {!check} runs them. *)
 
 (** Individual checks, for targeted tests: *)
 

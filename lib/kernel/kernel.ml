@@ -646,6 +646,31 @@ let schedule_irq t line ~delay =
     (Obs.Trace.Irq_armed { line; fire_at = Ctx.cycles t.ctx + delay });
   Ctx.schedule_irq_at t.ctx (Ctx.cycles t.ctx + delay)
 
+(* Install (or clear, with [None]) a deterministic fault-injection hook:
+   [f] receives the 1-based index of every preemption-point poll and
+   returning [true] asserts the timer interrupt at exactly that poll.
+   Injecting by poll index rather than by cycle count makes a campaign
+   schedule reproducible across scheduler variants, whose cycle counts
+   differ but whose preemption-point structure does not.  Installation
+   resets the poll counter, so indices are relative to that moment. *)
+let set_injection_hook t hook =
+  t.ctx.Ctx.preempt_polls <- 0;
+  t.ctx.Ctx.on_preempt_poll <-
+    (match hook with
+    | None -> None
+    | Some f ->
+        Some
+          (fun poll ->
+            f poll
+            && begin
+                 if not (List.mem timer_irq t.pending_irqs) then
+                   t.pending_irqs <- t.pending_irqs @ [ timer_irq ];
+                 Ctx.emit t.ctx (Obs.Trace.Irq_assert { line = timer_irq });
+                 true
+               end))
+
+let preempt_polls t = t.ctx.Ctx.preempt_polls
+
 (* The in-kernel interrupt path: acknowledge the interrupt, record the
    response latency, deliver to the registered handler endpoint, and for
    the timer, preempt the current thread. *)

@@ -139,6 +139,19 @@ val schedule_irq : t -> int -> delay:int -> unit
 val worst_irq_latency : t -> int
 val preempted_events : t -> int
 
+(** {1 Fault injection} *)
+
+val set_injection_hook : t -> (int -> bool) option -> unit
+(** Install (or clear) a deterministic fault-injection hook: the callback
+    receives the 1-based index of every preemption-point poll; returning
+    [true] asserts the timer interrupt at exactly that poll.  Indices are
+    counted by poll, not by cycle, so an injection schedule replays
+    identically across scheduler variants.  Installation resets the poll
+    counter. *)
+
+val preempt_polls : t -> int
+(** Preemption-point polls since the injection hook was last installed. *)
+
 (** {1 Internal operations exposed for targeted tests} *)
 
 val delete_endpoint : t -> endpoint -> Vspace.progress

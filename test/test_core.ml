@@ -8,9 +8,11 @@
 
 module KM = Sel4_rt.Kernel_model
 module RT = Sel4_rt.Response_time
+module Actx = Sel4_rt.Analysis_ctx
 
 let improved = Sel4.Build.improved
 let original = Sel4.Build.original
+let ctx_of config build = Actx.make ~config ~build ()
 
 let check_bool = Alcotest.(check bool)
 let check_int = Alcotest.(check int)
@@ -24,8 +26,9 @@ let test_soundness_all_entries () =
     (fun (cname, config) ->
       List.iter
         (fun entry ->
-          let computed = RT.computed_cycles ~config improved entry in
-          let observed = RT.observed ~runs:5 ~config improved entry in
+          let ctx = ctx_of config improved in
+          let computed = RT.computed_cycles ctx entry in
+          let observed = RT.observed ~runs:5 ctx entry in
           check_bool
             (Fmt.str "%s, %s: computed %d >= observed %d" (KM.entry_name entry)
                cname computed observed)
@@ -43,9 +46,9 @@ let test_soundness_round_robin () =
   List.iter
     (fun entry ->
       let computed =
-        RT.computed_cycles ~config:Hw.Config.default improved entry
+        RT.computed_cycles (ctx_of Hw.Config.default improved) entry
       in
-      let observed = RT.observed ~runs:5 ~config improved entry in
+      let observed = RT.observed ~runs:5 (ctx_of config improved) entry in
       check_bool
         (Fmt.str "%s under round-robin: %d >= %d" (KM.entry_name entry)
            computed observed)
@@ -55,9 +58,9 @@ let test_soundness_round_robin () =
 let test_soundness_original_build () =
   (* The before-kernel's syscall bound must also dominate its own worst
      observation (same workload; the operations just run unpreempted). *)
-  let config = Hw.Config.default in
-  let computed = RT.computed_cycles ~config original KM.Syscall in
-  let observed = RT.observed ~runs:3 ~config original KM.Syscall in
+  let ctx = ctx_of Hw.Config.default original in
+  let computed = RT.computed_cycles ctx KM.Syscall in
+  let observed = RT.observed ~runs:3 ctx KM.Syscall in
   check_bool
     (Fmt.str "original syscall: %d >= %d" computed observed)
     true (computed >= observed)
@@ -65,12 +68,12 @@ let test_soundness_original_build () =
 (* --- forced paths (Figure 8) --- *)
 
 let test_forced_path_between_observed_and_wcet () =
-  let config = Hw.Config.default in
+  let ctx = ctx_of Hw.Config.default improved in
   List.iter
     (fun entry ->
-      let wcet = RT.computed_cycles ~config improved entry in
-      let forced = RT.computed_for_path ~config improved entry in
-      let observed = RT.observed ~runs:5 ~config improved entry in
+      let wcet = RT.computed_cycles ctx entry in
+      let forced = RT.computed_for_path ctx entry in
+      let observed = RT.observed ~runs:5 ctx entry in
       check_bool
         (Fmt.str "%s: observed %d <= forced %d <= wcet %d"
            (KM.entry_name entry) observed forced wcet)
@@ -81,9 +84,8 @@ let test_forced_path_between_observed_and_wcet () =
 (* --- the paper's headline shapes --- *)
 
 let test_before_after_factor () =
-  let config = Hw.Config.default in
-  let before = RT.computed_cycles ~config original KM.Syscall in
-  let after = RT.computed_cycles ~config improved KM.Syscall in
+  let before = RT.computed_cycles (ctx_of Hw.Config.default original) KM.Syscall in
+  let after = RT.computed_cycles (ctx_of Hw.Config.default improved) KM.Syscall in
   let factor = float_of_int before /. float_of_int after in
   (* Paper: 11.6x.  Accept the right order of magnitude. *)
   check_bool
@@ -94,8 +96,8 @@ let test_before_after_factor () =
 let test_l2_raises_computed_lowers_little_observed () =
   List.iter
     (fun entry ->
-      let c_off = RT.computed_cycles ~config:Hw.Config.default improved entry in
-      let c_on = RT.computed_cycles ~config:Hw.Config.with_l2 improved entry in
+      let c_off = RT.computed_cycles (ctx_of Hw.Config.default improved) entry in
+      let c_on = RT.computed_cycles (ctx_of Hw.Config.with_l2 improved) entry in
       check_bool
         (Fmt.str "%s: computed rises with L2 (%d -> %d)" (KM.entry_name entry)
            c_off c_on)
@@ -110,11 +112,15 @@ let test_pinning_reduces_wcet () =
       data = selection.Sel4_rt.Pinning.data_lines;
     }
   in
-  let config = Hw.Config.with_pinning Hw.Config.default in
+  let pinned_ctx =
+    Actx.make
+      ~config:(Hw.Config.with_pinning Hw.Config.default)
+      ~pins ~build:improved ()
+  in
   List.iter
     (fun entry ->
-      let plain = RT.computed_cycles ~config:Hw.Config.default improved entry in
-      let pinned = RT.computed_cycles ~pins ~config improved entry in
+      let plain = RT.computed_cycles (ctx_of Hw.Config.default improved) entry in
+      let pinned = RT.computed_cycles pinned_ctx entry in
       check_bool
         (Fmt.str "%s: pinning helps (%d -> %d)" (KM.entry_name entry) plain
            pinned)
@@ -122,19 +128,18 @@ let test_pinning_reduces_wcet () =
     KM.entry_points;
   (* The interrupt path benefits the most, as in Table 1. *)
   let gain entry =
-    let plain = RT.computed_cycles ~config:Hw.Config.default improved entry in
-    let pinned = RT.computed_cycles ~pins ~config improved entry in
+    let plain = RT.computed_cycles (ctx_of Hw.Config.default improved) entry in
+    let pinned = RT.computed_cycles pinned_ctx entry in
     float_of_int (plain - pinned) /. float_of_int plain
   in
   check_bool "interrupt gains more than syscall" true
     (gain KM.Interrupt > gain KM.Syscall)
 
 let test_response_bound_is_sum () =
-  let config = Hw.Config.default in
+  let ctx = ctx_of Hw.Config.default improved in
   check_int "response = syscall + interrupt"
-    (RT.computed_cycles ~config improved KM.Syscall
-    + RT.computed_cycles ~config improved KM.Interrupt)
-    (RT.interrupt_response_bound ~config improved)
+    (RT.computed_cycles ctx KM.Syscall + RT.computed_cycles ctx KM.Interrupt)
+    (RT.interrupt_response_bound ctx)
 
 (* --- workloads --- *)
 
@@ -142,13 +147,15 @@ let test_workload_invariants () =
   (* The adversarial scenarios leave the kernel in a consistent state. *)
   List.iter
     (fun entry ->
-      let s = Sel4_rt.Workloads.scenario ~config:Hw.Config.default improved entry in
+      let s =
+        Sel4_rt.Workloads.scenario (ctx_of Hw.Config.default improved) entry
+      in
       let _ = Sel4_rt.Workloads.measure_once s ~seed:3 in
       match Sel4.Invariants.check_result s.Sel4_rt.Workloads.env.Sel4.Boot.k with
       | Ok () -> ()
-      | Error m ->
+      | Error ms ->
           Alcotest.failf "%s scenario: invariant violated: %s"
-            (KM.entry_name entry) m)
+            (KM.entry_name entry) (String.concat "; " ms))
     KM.entry_points
 
 let test_deep_cspace_depth_matters () =
@@ -157,7 +164,7 @@ let test_deep_cspace_depth_matters () =
     let params =
       { KM.default_params with KM.decode_depth = depth; KM.extra_caps = 0 }
     in
-    RT.observed ~runs:3 ~params ~config:Hw.Config.default improved KM.Syscall
+    RT.observed ~runs:3 (Actx.make ~params ~build:improved ()) KM.Syscall
   in
   let c1 = cost 1 and c8 = cost 8 and c32 = cost 32 in
   check_bool (Fmt.str "monotone %d < %d < %d" c1 c8 c32) true
@@ -165,7 +172,9 @@ let test_deep_cspace_depth_matters () =
 
 let test_observed_deterministic_per_seed () =
   let run () =
-    let s = Sel4_rt.Workloads.scenario ~config:Hw.Config.default improved KM.Interrupt in
+    let s =
+      Sel4_rt.Workloads.scenario (ctx_of Hw.Config.default improved) KM.Interrupt
+    in
     snd (Sel4_rt.Workloads.measure_once s ~seed:7)
   in
   check_int "same seed, same cycles" (run ()) (run ())
@@ -222,7 +231,7 @@ let test_pin_selection_fits_way () =
 let test_pinned_lines_survive_workload () =
   let selection = Sel4_rt.Pinning.select improved in
   let config = Hw.Config.with_pinning Hw.Config.default in
-  let s = Sel4_rt.Workloads.scenario ~config improved KM.Syscall in
+  let s = Sel4_rt.Workloads.scenario (ctx_of config improved) KM.Syscall in
   let machine = Hw.Cpu.machine s.Sel4_rt.Workloads.cpu in
   Sel4_rt.Pinning.install selection machine;
   let _ = Sel4_rt.Workloads.measure_once s ~seed:11 in

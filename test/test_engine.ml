@@ -144,7 +144,8 @@ let test_parallel_experiments_equal_serial () =
       (fun (_, config) ->
         List.map
           (fun entry ->
-            Sel4_rt.Response_time.computed_cycles ~config Sel4.Build.improved
+            Sel4_rt.Response_time.computed_cycles
+              (Sel4_rt.Analysis_ctx.make ~config ())
               entry)
           KM.entry_points)
       configs

@@ -1,0 +1,120 @@
+(* Tests for the fault-injection campaign engine: the campaign must be a
+   deterministic function of its seed, the exhaustive single-injection
+   sweep over endpoint deletion must pass cleanly, and the shrinker must
+   produce 1-minimal schedules — checked both directly and end-to-end
+   through a planted failure oracle. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_int_list = Alcotest.(check (list int))
+let ctx = Sel4_rt.Analysis_ctx.default
+
+(* --- determinism: the report is a pure function of the seed --- *)
+
+let test_same_seed_same_report () =
+  let r1 = Inject.run_campaign ~smoke:true ~seed:7 ctx in
+  let r2 = Inject.run_campaign ~smoke:true ~seed:7 ctx in
+  check_bool "identical reports" true (r1 = r2)
+
+let test_seed_changes_schedules () =
+  (* Different seeds still pass, and run the same amount of work (the
+     schedule *sizes* are drawn from the same distribution shape, but the
+     reports need not be identical). *)
+  let r1 = Inject.run_campaign ~smoke:true ~seed:1 ctx in
+  let r2 = Inject.run_campaign ~smoke:true ~seed:2 ctx in
+  check_bool "seed 1 passes" true (Inject.ok r1);
+  check_bool "seed 2 passes" true (Inject.ok r2);
+  check_int "seed recorded" 1 r1.Inject.r_seed
+
+(* --- the exhaustive sweep over endpoint deletion is clean --- *)
+
+let test_exhaustive_ep_delete () =
+  let r = Inject.run_campaign ~smoke:true ~ops:[ Inject.Ep_delete ] ctx in
+  check_bool "no failures" true (Inject.ok r);
+  match r.Inject.r_ops with
+  | [ o ] ->
+      check_bool "covers preemption points" true (o.Inject.o_points > 0);
+      (* 3 uninterrupted baselines + (points + random schedules) x 3
+         variants: strictly more runs than points. *)
+      check_bool "sweep ran per variant" true
+        (o.Inject.o_runs >= 3 * (o.Inject.o_points + 1));
+      check_bool "injections forced restarts" true (o.Inject.o_max_restarts > 0)
+  | _ -> Alcotest.fail "expected exactly one op report"
+
+let test_full_campaign_smoke () =
+  let r = Inject.run_campaign ~smoke:true ctx in
+  check_bool "all four ops pass" true (Inject.ok r);
+  check_int "four campaigns" 4 (List.length r.Inject.r_ops);
+  List.iter
+    (fun o ->
+      check_bool
+        (Inject.op_name o.Inject.o_op ^ " polls preemption points")
+        true
+        (o.Inject.o_points > 0))
+    r.Inject.r_ops
+
+(* --- shrinking --- *)
+
+let test_shrink_minimal () =
+  (* The failure needs 3 and 7 together; everything else is noise. *)
+  let fails s = List.mem 3 s && List.mem 7 s in
+  check_int_list "noise removed" [ 3; 7 ]
+    (Inject.shrink ~fails [ 1; 3; 5; 7; 9 ]);
+  check_int_list "already minimal" [ 2 ] (Inject.shrink ~fails:(List.mem 2) [ 2 ]);
+  (* 1-minimality: removing any element of the result must not fail. *)
+  let result = Inject.shrink ~fails [ 9; 7; 5; 3; 1 ] in
+  check_bool "result still fails" true (fails result);
+  List.iteri
+    (fun i _ ->
+      check_bool "dropping any element passes" false
+        (fails (List.filteri (fun j _ -> j <> i) result)))
+    result
+
+let test_planted_failure_is_shrunk () =
+  (* Plant a deterministic bug that needs at least two injections, so the
+     exhaustive single-injection sweep stays green and only the random
+     multi-injection schedules hit it; the report must carry 1-minimal
+     (two-element) schedules. *)
+  let planted op schedule =
+    if op = Inject.Ep_delete && List.length schedule >= 2 then
+      Some "planted: double preemption mishandled"
+    else None
+  in
+  let r = Inject.run_campaign ~smoke:true ~ops:[ Inject.Ep_delete ] ~planted ctx in
+  check_bool "campaign reports the plant" false (Inject.ok r);
+  let o = List.hd r.Inject.r_ops in
+  check_bool "at least one failure" true (o.Inject.o_failures <> []);
+  List.iter
+    (fun (f : Inject.failure) ->
+      check_bool "found by a multi-injection schedule" true
+        (List.length f.Inject.f_schedule >= 2);
+      check_int "shrunk to the 1-minimal pair" 2
+        (List.length f.Inject.f_min_schedule);
+      Alcotest.(check string)
+        "oracle verdict propagated" "planted" f.Inject.f_variant)
+    o.Inject.o_failures
+
+let () =
+  Alcotest.run "inject"
+    [
+      ( "determinism",
+        Alcotest.
+          [
+            test_case "same seed, same report" `Quick test_same_seed_same_report;
+            test_case "other seeds pass too" `Quick test_seed_changes_schedules;
+          ] );
+      ( "campaign",
+        Alcotest.
+          [
+            test_case "exhaustive ep-delete sweep" `Quick
+              test_exhaustive_ep_delete;
+            test_case "all ops, smoke sizes" `Quick test_full_campaign_smoke;
+          ] );
+      ( "shrinking",
+        Alcotest.
+          [
+            test_case "greedy shrink is 1-minimal" `Quick test_shrink_minimal;
+            test_case "planted failure shrunk in report" `Quick
+              test_planted_failure_is_shrunk;
+          ] );
+    ]

@@ -19,7 +19,8 @@ let original = Sel4.Build.original
 let check_invariants what env =
   match Sel4.Invariants.check_result env.B.k with
   | Result.Ok () -> ()
-  | Result.Error m -> Alcotest.failf "%s: invariant violated: %s" what m
+  | Result.Error ms ->
+      Alcotest.failf "%s: invariant violated: %s" what (String.concat "; " ms)
 
 (* Run an event as a specific thread (models that thread being in user
    mode and trapping into the kernel). *)
@@ -1022,9 +1023,9 @@ let run_ops build ops =
       ignore (as_thread env tcb event);
     match Sel4.Invariants.check_result env.B.k with
     | Result.Ok () -> ()
-    | Result.Error m ->
+    | Result.Error ms ->
         ok := false;
-        QCheck.Test.fail_reportf "invariant violated: %s" m
+        QCheck.Test.fail_reportf "invariant violated: %s" (String.concat "; " ms)
   in
   List.iter
     (fun op ->
@@ -1223,9 +1224,9 @@ let run_vm_ops build ops =
     ignore (K.run_to_completion env.B.k ev);
     match Sel4.Invariants.check_result env.B.k with
     | Ok () -> ()
-    | Error m ->
+    | Error ms ->
         ok := false;
-        QCheck.Test.fail_reportf "vm invariant violated: %s" m
+        QCheck.Test.fail_reportf "vm invariant violated: %s" (String.concat "; " ms)
   in
   List.iter
     (fun op ->
@@ -1324,6 +1325,140 @@ let test_invariants_benno =
     { improved with Sel4.Build.sched = Sel4.Build.Benno }
     "invariants hold under random ops (benno, no bitmap)"
 
+(* --- every catalogue check detects a targeted corruption --- *)
+
+(* Each test boots a clean kernel, applies one surgical corruption aimed
+   at a single check, and requires both the targeted check and the
+   whole-catalogue [check_result] to report it with the check's name —
+   the detection power the fault-injection campaign's oracle relies on. *)
+
+let starts_with ~prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+let assert_detects ~name ~check env corrupt =
+  (match Sel4.Invariants.check_result env.B.k with
+  | Ok () -> ()
+  | Error ms ->
+      Alcotest.failf "%s: catalogue not clean before corruption: %s" name
+        (String.concat "; " ms));
+  corrupt ();
+  check_bool (name ^ ": targeted check raises") true
+    (try
+       check env.B.k;
+       false
+     with Sel4.Invariants.Violation _ -> true);
+  match Sel4.Invariants.check_result env.B.k with
+  | Ok () -> Alcotest.failf "%s: check_result missed the corruption" name
+  | Error ms ->
+      check_bool (name ^ ": named in the report") true
+        (List.exists (starts_with ~prefix:name) ms)
+
+let park_one_sender env ~ep_cptr ~dest =
+  let t = B.spawn_thread env ~priority:50 ~dest in
+  B.make_runnable env t;
+  K.force_run env.B.k t;
+  ignore
+    (K.kernel_entry env.B.k
+       (K.Ev_send { ep = ep_cptr; msg_len = 1; extra_caps = []; blocking = true }));
+  K.force_run env.B.k env.B.root_tcb;
+  t
+
+let frame_at env slot_i =
+  match env.B.root_cnode.cn_slots.(slot_i).cap with
+  | Frame_cap { frame; _ } -> frame
+  | _ -> Alcotest.fail "expected a frame cap"
+
+let test_detect_run_queues () =
+  let env = B.boot improved in
+  let t = B.spawn_thread env ~priority:120 ~dest:80 in
+  B.make_runnable env t;
+  assert_detects ~name:"run_queues" ~check:Sel4.Invariants.check_run_queues env
+    (fun () -> t.in_run_queue <- false)
+
+let test_detect_endpoints () =
+  let env = B.boot improved in
+  let ep = B.spawn_endpoint env ~dest:10 in
+  ignore (park_one_sender env ~ep_cptr:(B.cptr 10) ~dest:20);
+  assert_detects ~name:"endpoints" ~check:Sel4.Invariants.check_endpoints env
+    (fun () -> ep.ep_queue_kind <- Ep_idle)
+
+let test_detect_notifications () =
+  let env = B.boot improved in
+  let n = B.spawn_notification env ~dest:11 in
+  assert_detects ~name:"notifications"
+    ~check:Sel4.Invariants.check_notifications env (fun () ->
+      (* A queued "waiter" that is not blocked on the notification. *)
+      n.ntfn_queue.head <- Some env.B.root_tcb;
+      n.ntfn_queue.tail <- Some env.B.root_tcb)
+
+let test_detect_alignment () =
+  let env = B.boot improved in
+  ignore (B.retype_syscall env (Frame_object 12) ~count:1 ~dest:50);
+  let f = frame_at env 50 in
+  assert_detects ~name:"alignment" ~check:Sel4.Invariants.check_alignment env
+    (fun () ->
+      let rogue = { f with f_id = 9999; f_addr = f.f_addr + 4 } in
+      env.B.k.K.objects <- Any_frame rogue :: env.B.k.K.objects)
+
+let test_detect_cdt () =
+  let env = B.boot improved in
+  assert_detects ~name:"cdt" ~check:Sel4.Invariants.check_cdt env (fun () ->
+      env.B.root_cnode.cn_slots.(99).cdt_parent <- Some env.B.ut_slot)
+
+let test_detect_shadow_tables () =
+  let env = B.boot improved in
+  ignore (B.retype_syscall env Page_table_object ~count:1 ~dest:44);
+  let pt =
+    match env.B.root_cnode.cn_slots.(44).cap with
+    | Page_table_cap { pt; _ } -> pt
+    | _ -> Alcotest.fail "expected a page-table cap"
+  in
+  assert_detects ~name:"shadow_tables"
+    ~check:Sel4.Invariants.check_shadow_tables env (fun () ->
+      pt.pt_shadow.(5) <- Some env.B.ut_slot)
+
+let test_detect_kernel_mappings () =
+  let env = B.boot improved in
+  ignore (B.retype_syscall env Page_directory_object ~count:1 ~dest:30);
+  let pd =
+    match env.B.root_cnode.cn_slots.(30).cap with
+    | Page_directory_cap { pd; _ } -> pd
+    | _ -> Alcotest.fail "expected a page-directory cap"
+  in
+  assert_detects ~name:"kernel_mappings"
+    ~check:Sel4.Invariants.check_kernel_mappings env (fun () ->
+      pd.pd_entries.(kernel_pde_first) <- Pde_invalid)
+
+let test_detect_cleared () =
+  let env = B.boot improved in
+  ignore (B.retype_syscall env (Frame_object 12) ~count:1 ~dest:50);
+  let f = frame_at env 50 in
+  assert_detects ~name:"cleared" ~check:Sel4.Invariants.check_cleared env
+    (fun () -> f.f_cleared <- 8)
+
+(* check_result runs the catalogue to the end: two unrelated corruptions
+   yield two named violations, not just the first. *)
+let test_check_result_collects_all () =
+  let env = B.boot improved in
+  let t = B.spawn_thread env ~priority:120 ~dest:80 in
+  B.make_runnable env t;
+  ignore (B.retype_syscall env (Frame_object 12) ~count:1 ~dest:50);
+  let f = frame_at env 50 in
+  (match Sel4.Invariants.check_result env.B.k with
+  | Ok () -> ()
+  | Error ms -> Alcotest.failf "not clean: %s" (String.concat "; " ms));
+  t.in_run_queue <- false;
+  f.f_cleared <- 8;
+  match Sel4.Invariants.check_result env.B.k with
+  | Ok () -> Alcotest.fail "two corruptions missed"
+  | Error ms ->
+      check_int "both violations reported" 2 (List.length ms);
+      check_bool "run_queues reported" true
+        (List.exists (starts_with ~prefix:"run_queues") ms);
+      check_bool "cleared reported" true
+        (List.exists (starts_with ~prefix:"cleared") ms)
+
 let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
 
 let () =
@@ -1406,6 +1541,20 @@ let () =
             test_case "poll" `Quick test_ntfn_poll;
             test_case "irq via notification" `Quick test_irq_via_notification;
             test_case "delete wakes waiters" `Quick test_ntfn_delete_wakes_waiters;
+          ] );
+      ( "invariant-detection",
+        Alcotest.
+          [
+            test_case "run queues" `Quick test_detect_run_queues;
+            test_case "endpoints" `Quick test_detect_endpoints;
+            test_case "notifications" `Quick test_detect_notifications;
+            test_case "alignment" `Quick test_detect_alignment;
+            test_case "cdt" `Quick test_detect_cdt;
+            test_case "shadow tables" `Quick test_detect_shadow_tables;
+            test_case "kernel mappings" `Quick test_detect_kernel_mappings;
+            test_case "cleared" `Quick test_detect_cleared;
+            test_case "check_result collects all" `Quick
+              test_check_result_collects_all;
           ] );
       ( "invariant-properties",
         qsuite

@@ -183,7 +183,7 @@ let test_ring () =
 let trace_of ~seed entry =
   let buf = T.create () in
   let outcome, cycles =
-    W.run_traced ~config:Hw.Config.default ~buf ~seed Sel4.Build.improved entry
+    W.run_traced ~buf ~seed (Sel4_rt.Analysis_ctx.default) entry
   in
   (match outcome with
   | Sel4.Kernel.Failed e -> Alcotest.fail ("scenario failed: " ^ e)
@@ -209,8 +209,7 @@ let test_serial_parallel () =
     Fun.protect ~finally:(fun () -> Sel4_rt.Parallel.set_serial false) f
   in
   let measure () =
-    W.observed_traced ~runs:3 ~config:Hw.Config.default Sel4.Build.improved
-      KM.Interrupt
+    W.observed_traced ~runs:3 Sel4_rt.Analysis_ctx.default KM.Interrupt
   in
   let w_serial, p_serial = with_serial true measure in
   let w_par, p_par = with_serial false measure in
@@ -222,12 +221,9 @@ let test_serial_parallel () =
 let test_zero_overhead () =
   List.iter
     (fun entry ->
-      let plain =
-        W.observed ~runs:4 ~config:Hw.Config.default Sel4.Build.improved entry
-      in
+      let plain = W.observed ~runs:4 Sel4_rt.Analysis_ctx.default entry in
       let traced, prov =
-        W.observed_traced ~runs:4 ~config:Hw.Config.default Sel4.Build.improved
-          entry
+        W.observed_traced ~runs:4 Sel4_rt.Analysis_ctx.default entry
       in
       check_int (KM.entry_name entry ^ ": observed unchanged") plain traced;
       check_bool
@@ -283,8 +279,7 @@ let test_attribution_section () =
 let test_attribution_real_interrupt () =
   let buf = T.create () in
   let _ =
-    W.run_traced ~config:Hw.Config.default ~buf ~seed:2 Sel4.Build.improved
-      KM.Interrupt
+    W.run_traced ~buf ~seed:2 Sel4_rt.Analysis_ctx.default KM.Interrupt
   in
   match A.irq_breakdowns (T.events buf) with
   | [] -> Alcotest.fail "interrupt run must record a delivery"
@@ -303,8 +298,7 @@ let test_attribution_real_interrupt () =
 let test_chrome_json () =
   let buf = T.create () in
   let _ =
-    W.run_traced ~config:Hw.Config.default ~buf ~seed:1 Sel4.Build.improved
-      KM.Syscall
+    W.run_traced ~buf ~seed:1 Sel4_rt.Analysis_ctx.default KM.Syscall
   in
   check_bool "trace non-empty" true (T.length buf > 0);
   let json = T.to_chrome_json ~cycles_per_us:532.0 buf in
