@@ -19,6 +19,7 @@
      analysis Section 6.3     - ILP sizes, solver effort, constraint effect
      constraints Section 5.2  - WCET under manual vs derived constraints
      summary  Section 6       - headline numbers
+     sim      stochastic soak: observed IRQ latency vs the computed bound
      micro    Bechamel microbenchmarks of the core data structures *)
 
 let run_table1 () = Sel4_rt.Experiments.(print_table1 (table1 ()))
@@ -53,6 +54,14 @@ let run_inject () =
   let report = Inject.run_campaign ~smoke:true (Sel4_rt.Analysis_ctx.default) in
   inject_report := Some report;
   Fmt.pr "%a@." Inject.pp_report report
+
+(* The latest soak-campaign report, kept for the --json summary. *)
+let sim_report : Sim.report option ref = ref None
+
+let run_sim () =
+  let report = Sim.run_campaign ~smoke:true () in
+  sim_report := Some report;
+  Fmt.pr "%a@." Sim.pp_report report
 
 (* --- Bechamel microbenchmarks --- *)
 
@@ -159,6 +168,7 @@ let sections =
     ("fastpath", run_fastpath);
     ("replacement", run_replacement);
     ("inject", run_inject);
+    ("sim", run_sim);
     ("micro", run_micro);
   ]
 
@@ -241,7 +251,7 @@ let table2_cell_json (c : Sel4_rt.Experiments.table2_cell) =
 let write_json ~path ~section_times ~engine_wall_s ~serial_fresh_wall_s
     ~(stats : Sel4_rt.Analysis_cache.stats) ~domains ~requested_domains
     ~recommended_domains ~warning ~analysis_rows ~constraint_rows ~table2_rows
-    ~inject_rep =
+    ~inject_rep ~sim_rep =
   let buf = Buffer.create 2048 in
   let addf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   let f v = Printf.sprintf "%.6f" v in
@@ -309,6 +319,9 @@ let write_json ~path ~section_times ~engine_wall_s ~serial_fresh_wall_s
             (if i < List.length r.Inject.r_ops - 1 then "," else ""))
         r.Inject.r_ops;
       addf "  ]},\n");
+  (match sim_rep with
+  | None -> ()
+  | Some (r : Sim.report) -> addf "  \"sim\": %s,\n" (Sim.report_json r));
   addf "  \"analysis\": [\n";
   List.iteri
     (fun i (r : Sel4_rt.Experiments.analysis_cost_row) ->
@@ -419,7 +432,8 @@ let () =
     let path = "BENCH_wcet.json" in
     write_json ~path ~section_times ~engine_wall_s ~serial_fresh_wall_s ~stats
       ~domains ~requested_domains ~recommended_domains ~warning ~analysis_rows
-      ~constraint_rows ~table2_rows:!table2_rows ~inject_rep:!inject_report;
+      ~constraint_rows ~table2_rows:!table2_rows ~inject_rep:!inject_report
+      ~sim_rep:!sim_report;
     Fmt.pr "@.engine: %.3fs  serial fresh: %.3fs  speedup: %.1fx  cache hit \
             rate: %.0f%%  (%s)@."
       engine_wall_s serial_fresh_wall_s

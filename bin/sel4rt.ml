@@ -434,6 +434,51 @@ let inject_cmd =
           states across scheduler variants. Exits non-zero on any failure.")
     Term.(const run $ smoke_arg $ seed_arg $ l2_arg)
 
+let sim_cmd =
+  let run smoke seed entries only =
+    let only = match only with [] -> None | l -> Some l in
+    let report = Sim.run_campaign ~smoke ~seed ?entries ?only () in
+    Fmt.pr "%a@." Sim.pp_report report;
+    if not report.Sim.rp_ok then exit 1
+  in
+  let smoke_arg =
+    Arg.(
+      value & flag
+      & info [ "smoke" ]
+          ~doc:
+            "Short runs (1500 kernel entries each): the fast fixed-seed CI \
+             configuration.")
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int 42
+      & info [ "seed" ] ~docv:"N"
+          ~doc:"PRNG seed for workload traffic and device arrivals.")
+  in
+  let entries_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "entries" ] ~docv:"N"
+          ~doc:"Kernel entries per scenario/build run (default 52000).")
+  in
+  let only_arg =
+    Arg.(
+      value & opt_all string []
+      & info [ "scenario" ] ~docv:"NAME"
+          ~doc:"Restrict to the named scenario (repeatable).")
+  in
+  Cmd.v
+    (Cmd.info "sim"
+       ~doc:
+         "Stochastic soak campaign: seeded multi-tenant syscall traffic plus \
+          virtual devices asserting interrupts, run for large kernel-entry \
+          counts across the scheduler variants and pinning, validating every \
+          observed interrupt response latency against the computed WCET \
+          bound. Deterministic for a fixed seed regardless of the domain \
+          count. Exits non-zero if any latency exceeds its bound or an \
+          invariant check fails.")
+    Term.(const run $ smoke_arg $ seed_arg $ entries_arg $ only_arg)
+
 let pins_cmd =
   let run build =
     let s = Sel4_rt.Pinning.select build in
@@ -468,4 +513,5 @@ let () =
             trace_cmd;
             metrics_cmd;
             inject_cmd;
+            sim_cmd;
           ]))

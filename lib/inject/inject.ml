@@ -55,30 +55,17 @@ let m_failures = Obs.Metrics.counter "inject.failures"
 let m_shrink_runs = Obs.Metrics.counter "inject.shrink_runs"
 let m_max_restarts = Obs.Metrics.counter "inject.max_restarts"
 
-(* --- splitmix64: the campaign's only randomness source --- *)
-
-type rng = { mutable sm_state : int64 }
-
-let rng_create seed = { sm_state = Int64.of_int seed }
-
-let rng_next64 r =
-  r.sm_state <- Int64.add r.sm_state 0x9E3779B97F4A7C15L;
-  let z = r.sm_state in
-  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
-  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
-  Int64.logxor z (Int64.shift_right_logical z 31)
-
-let rng_int r bound =
-  if bound <= 0 then 0
-  else Int64.to_int (Int64.rem (Int64.shift_right_logical (rng_next64 r) 1) (Int64.of_int bound))
+(* Randomness comes from the shared audited source ({!Sel4_rt.Prng},
+   splitmix64): same stream as the historical private generator, so
+   campaign results at a given seed are unchanged. *)
 
 (* A sorted multi-injection schedule: 2..5 distinct polls out of [1..n]. *)
 let random_schedule r n =
-  let want = min n (2 + rng_int r 4) in
+  let want = min n (2 + Sel4_rt.Prng.int r 4) in
   let rec draw acc =
     if List.length acc >= want then acc
     else
-      let k = 1 + rng_int r n in
+      let k = 1 + Sel4_rt.Prng.int r n in
       if List.mem k acc then draw acc else draw (k :: acc)
   in
   List.sort compare (draw [])
@@ -664,7 +651,7 @@ let run_campaign ?(smoke = false) ?(seed = 42) ?(ops = all_ops) ?planted
     (ctx : Sel4_rt.Analysis_ctx.t) =
   max_restarts_seen := 0;
   let sz = sizes ~smoke in
-  let rng = rng_create seed in
+  let rng = Sel4_rt.Prng.create seed in
   let random_schedules = if smoke then 5 else 40 in
   let reports =
     List.map

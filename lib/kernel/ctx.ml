@@ -12,10 +12,11 @@ type t = {
       (* Cycle at which the earliest still-pending interrupt arrived;
          [None] when no interrupt is pending.  Set by the harness, cleared
          when the kernel takes the interrupt. *)
-  mutable irq_timer : int option;
-      (* A future interrupt: becomes pending when the cycle counter
-         reaches it.  Lets tests and benchmarks fire an interrupt in the
-         middle of a long-running kernel operation. *)
+  mutable irq_timers : int list;
+      (* Future interrupts: each becomes pending when the cycle counter
+         reaches it.  Lets tests, benchmarks and the soak simulator fire
+         interrupts in the middle of long-running kernel operations; the
+         kernel tracks which line each timer belongs to. *)
   mutable irq_latency_worst : int;
   mutable irq_latency_last : int;
   mutable preempt_count : int;  (* preemption points taken (not checks) *)
@@ -33,7 +34,7 @@ let create ?cpu build =
     cpu;
     build;
     irq_arrival = None;
-    irq_timer = None;
+    irq_timers = [];
     irq_latency_worst = 0;
     irq_latency_last = 0;
     preempt_count = 0;
@@ -94,17 +95,25 @@ let load_block t addr bytes =
 
 let raise_irq t = if t.irq_arrival = None then t.irq_arrival <- Some (cycles t)
 
-let schedule_irq_at t cycle = t.irq_timer <- Some cycle
+let schedule_irq_at t cycle = t.irq_timers <- t.irq_timers @ [ cycle ]
 
-(* Promote an expired timer into a pending interrupt.  The arrival time is
-   the scheduled cycle, so response latency is measured from the moment
-   the (virtual) device asserted the line. *)
+(* Promote expired timers into the pending interrupt.  The arrival time is
+   the earliest expired scheduled cycle, so response latency is measured
+   from the moment the first (virtual) device asserted its line;
+   per-line arrival accounting is the kernel's job. *)
 let refresh t =
-  match t.irq_timer with
-  | Some c when cycles t >= c ->
-      if t.irq_arrival = None then t.irq_arrival <- Some c;
-      t.irq_timer <- None
-  | _ -> ()
+  match t.irq_timers with
+  | [] -> ()
+  | timers ->
+      let now = cycles t in
+      let expired, live = List.partition (fun c -> now >= c) timers in
+      if expired <> [] then begin
+        t.irq_timers <- live;
+        let earliest = List.fold_left min max_int expired in
+        match t.irq_arrival with
+        | Some a when a <= earliest -> ()
+        | _ -> t.irq_arrival <- Some earliest
+      end
 
 let irq_pending t =
   refresh t;

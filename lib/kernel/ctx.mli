@@ -6,7 +6,7 @@ type t = {
   cpu : Hw.Cpu.t option;
   build : Build.t;
   mutable irq_arrival : int option;
-  mutable irq_timer : int option;
+  mutable irq_timers : int list;
   mutable irq_latency_worst : int;
   mutable irq_latency_last : int;
   mutable preempt_count : int;
@@ -40,7 +40,9 @@ val load_block : t -> int -> int -> unit
 
 val raise_irq : t -> unit
 val schedule_irq_at : t -> int -> unit
-(** Make an interrupt pending once the cycle counter reaches the value. *)
+(** Arm a timer: an interrupt becomes pending once the cycle counter
+    reaches the value.  Several timers may be armed at once; each expiry
+    is promoted with its own arrival cycle (earliest first). *)
 
 val irq_pending : t -> bool
 

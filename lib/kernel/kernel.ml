@@ -25,6 +25,17 @@ type t = {
   cap_refs : (int, int) Hashtbl.t;  (* object id -> live cap count *)
   irq_handlers : cap option array;
   mutable pending_irqs : int list;  (* lines raised but not yet delivered *)
+  mutable armed_irqs : (int * int) list;
+      (* (fire cycle, line): device timers not yet expired; promoted into
+         [pending_irqs] earliest-first once the cycle counter passes the
+         fire cycle *)
+  irq_assert : int option array;
+      (* per-line cycle at which the pending assertion happened — the
+         device's view — so each delivery's latency is measured from its
+         own line's assert, not from the earliest of all pending lines *)
+  mutable irq_line_worst : int;
+  mutable on_irq_deliver : (int -> int -> unit) option;
+      (* observer hook: called with (line, latency) at every delivery *)
   mutable preempted_events : int;
   mutable syscall_restarts : int;
 }
@@ -70,6 +81,10 @@ let create ?cpu (build : Build.t) =
       cap_refs = Hashtbl.create 64;
       irq_handlers = Array.make num_irqs None;
       pending_irqs = [];
+      armed_irqs = [];
+      irq_assert = Array.make num_irqs None;
+      irq_line_worst = 0;
+      on_irq_deliver = None;
       preempted_events = 0;
       syscall_restarts = 0;
     }
@@ -630,21 +645,56 @@ let revoke_cap t (slot : slot) =
 
 let raise_irq t line =
   assert (line >= 0 && line < num_irqs);
-  if not (List.mem line t.pending_irqs) then
+  if not (List.mem line t.pending_irqs) then begin
     t.pending_irqs <- t.pending_irqs @ [ line ];
+    t.irq_assert.(line) <- Some (Ctx.cycles t.ctx)
+  end;
   Ctx.emit t.ctx (Obs.Trace.Irq_assert { line });
   Ctx.raise_irq t.ctx
 
 (* Arrange for [line] to be asserted once the cycle counter reaches
    now + delay: the interrupt will land in the middle of whatever kernel
-   operation is then executing. *)
+   operation is then executing.  Any number of device timers may be armed
+   at once; each line becomes pending at its own fire cycle. *)
 let schedule_irq t line ~delay =
   assert (line >= 0 && line < num_irqs);
-  if not (List.mem line t.pending_irqs) then
-    t.pending_irqs <- t.pending_irqs @ [ line ];
-  Ctx.emit t.ctx
-    (Obs.Trace.Irq_armed { line; fire_at = Ctx.cycles t.ctx + delay });
-  Ctx.schedule_irq_at t.ctx (Ctx.cycles t.ctx + delay)
+  let fire = Ctx.cycles t.ctx + delay in
+  t.armed_irqs <- t.armed_irqs @ [ (fire, line) ];
+  Ctx.emit t.ctx (Obs.Trace.Irq_armed { line; fire_at = fire });
+  Ctx.schedule_irq_at t.ctx fire
+
+(* Promote armed lines whose fire cycle has passed into the pending set,
+   earliest first (stable for equal fire cycles, so delivery order is
+   deterministic), stamping each line's assert cycle with the cycle its
+   (virtual) device raised it.  An already-pending line absorbs the new
+   assertion, as a real interrupt controller's level-triggered pending
+   bit would. *)
+let promote_armed t =
+  match t.armed_irqs with
+  | [] -> ()
+  | armed ->
+      let now = Ctx.cycles t.ctx in
+      let expired, live = List.partition (fun (fire, _) -> now >= fire) armed in
+      if expired <> [] then begin
+        t.armed_irqs <- live;
+        List.iter
+          (fun (fire, line) ->
+            if not (List.mem line t.pending_irqs) then begin
+              t.pending_irqs <- t.pending_irqs @ [ line ];
+              t.irq_assert.(line) <- Some fire
+            end)
+          (List.stable_sort (fun (a, _) (b, _) -> compare a b) expired)
+      end
+
+let next_armed_irq t =
+  List.fold_left
+    (fun acc (fire, line) ->
+      match acc with
+      | Some (f, _) when f <= fire -> acc
+      | _ -> Some (fire, line))
+    None t.armed_irqs
+
+let set_irq_delivery_hook t hook = t.on_irq_deliver <- hook
 
 (* Install (or clear, with [None]) a deterministic fault-injection hook:
    [f] receives the 1-based index of every preemption-point poll and
@@ -663,8 +713,10 @@ let set_injection_hook t hook =
           (fun poll ->
             f poll
             && begin
-                 if not (List.mem timer_irq t.pending_irqs) then
+                 if not (List.mem timer_irq t.pending_irqs) then begin
                    t.pending_irqs <- t.pending_irqs @ [ timer_irq ];
+                   t.irq_assert.(timer_irq) <- Some (Ctx.cycles t.ctx)
+                 end;
                  Ctx.emit t.ctx (Obs.Trace.Irq_assert { line = timer_irq });
                  true
                end))
@@ -673,16 +725,34 @@ let preempt_polls t = t.ctx.Ctx.preempt_polls
 
 (* The in-kernel interrupt path: acknowledge the interrupt, record the
    response latency, deliver to the registered handler endpoint, and for
-   the timer, preempt the current thread. *)
+   the timer, preempt the current thread.  One line is delivered per
+   entry; remaining pending lines re-assert and are taken on subsequent
+   entries, exactly as a real controller re-raises its output. *)
 let handle_interrupt_internal t =
   Ctx.exec t.ctx "irq_path" Costs.irq_path_instrs;
   Ctx.load t.ctx Layout.irq_pending_word;
-  let latency = Ctx.note_irq_taken t.ctx in
+  ignore (Ctx.irq_pending t.ctx) (* fold expired timers into the arrival *);
+  promote_armed t;
+  let ctx_latency = Ctx.note_irq_taken t.ctx in
   match t.pending_irqs with
   | [] -> ()
   | line :: rest ->
+      let latency =
+        (* Prefer the line's own assert cycle: with several outstanding
+           interrupts the context-level arrival only tracks the earliest. *)
+        match t.irq_assert.(line) with
+        | Some asserted ->
+            t.irq_assert.(line) <- None;
+            Some (Ctx.cycles t.ctx - asserted)
+        | None -> ctx_latency
+      in
       (match latency with
-      | Some latency -> Ctx.emit t.ctx (Obs.Trace.Irq_deliver { line; latency })
+      | Some latency ->
+          if latency > t.irq_line_worst then t.irq_line_worst <- latency;
+          Ctx.emit t.ctx (Obs.Trace.Irq_deliver { line; latency });
+          (match t.on_irq_deliver with
+          | Some hook -> hook line latency
+          | None -> ())
       | None -> ());
       t.pending_irqs <- rest;
       if rest = [] then () else Ctx.raise_irq t.ctx;
@@ -1198,5 +1268,5 @@ let run_to_completion ?(max_restarts = 1_000_000) t event =
   in
   go 0 (kernel_entry t event)
 
-let worst_irq_latency t = Ctx.worst_irq_latency t.ctx
+let worst_irq_latency t = max (Ctx.worst_irq_latency t.ctx) t.irq_line_worst
 let preempted_events t = t.preempted_events

@@ -25,6 +25,12 @@ type t = {
   cap_refs : (int, int) Hashtbl.t;  (** object id -> live capability count *)
   irq_handlers : cap option array;
   mutable pending_irqs : int list;
+  mutable armed_irqs : (int * int) list;
+      (** (fire cycle, line) device timers not yet expired *)
+  irq_assert : int option array;
+      (** per-line assert cycle of each pending interrupt *)
+  mutable irq_line_worst : int;
+  mutable on_irq_deliver : (int -> int -> unit) option;
   mutable preempted_events : int;
   mutable syscall_restarts : int;
 }
@@ -134,9 +140,25 @@ val raise_irq : t -> int -> unit
 
 val schedule_irq : t -> int -> delay:int -> unit
 (** Assert a line once the cycle counter advances by [delay] — the
-    interrupt lands mid-operation. *)
+    interrupt lands mid-operation.  Any number of device timers may be
+    armed concurrently; expiries are promoted to pending earliest-first
+    (ties broken by arming order), each stamped with its own fire cycle
+    as the line's assert time. *)
+
+val next_armed_irq : t -> (int * int) option
+(** The earliest (fire cycle, line) among armed device timers, if any —
+    lets a driver know how far to advance an idle system for the next
+    interrupt to fire. *)
+
+val set_irq_delivery_hook : t -> (int -> int -> unit) option -> unit
+(** Install (or clear) an observer called with [(line, latency)] at every
+    interrupt delivery — the soak simulator's per-IRQ latency feed.
+    Latency is measured from the line's own assert cycle. *)
 
 val worst_irq_latency : t -> int
+(** Worst observed per-delivery response latency (cycles), across all
+    lines. *)
+
 val preempted_events : t -> int
 
 (** {1 Fault injection} *)

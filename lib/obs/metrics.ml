@@ -21,6 +21,7 @@ type histogram = {
   h_name : string;
   mutable count : int;
   mutable sum : float;
+  mutable min_value : float;
   mutable max_value : float;
   buckets : (int, int) Hashtbl.t;  (* exponent -> observations *)
 }
@@ -59,6 +60,7 @@ let histogram name =
         h_name = name;
         count = 0;
         sum = 0.0;
+        min_value = infinity;
         max_value = neg_infinity;
         buckets = Hashtbl.create 8;
       })
@@ -74,6 +76,7 @@ let observe h v =
   with_lock (fun () ->
       h.count <- h.count + 1;
       h.sum <- h.sum +. v;
+      if v < h.min_value then h.min_value <- v;
       if v > h.max_value then h.max_value <- v;
       let k = bucket_of v in
       Hashtbl.replace h.buckets k
@@ -94,9 +97,32 @@ let span h f =
 type hist_snapshot = {
   hs_count : int;
   hs_sum : float;
+  hs_min : float;
   hs_max : float;
   hs_buckets : (int * int) list;  (* (exponent, count), ascending *)
 }
+
+(* Percentile extraction from the log2 buckets.  The estimate for rank r
+   is the upper bound 2^k of the first bucket whose cumulative count
+   reaches r — a conservative (never under-reported) latency figure —
+   clamped into [hs_min, hs_max], which are tracked exactly.  In
+   particular any percentile that lands in the top occupied bucket
+   reports the exact maximum. *)
+let percentile h q =
+  if h.hs_count = 0 then 0.0
+  else
+    let q = Float.max 0.0 (Float.min 1.0 q) in
+    let rank = max 1 (int_of_float (Float.ceil (q *. float_of_int h.hs_count))) in
+    let rec walk cum = function
+      | [] -> h.hs_max
+      | (k, n) :: rest ->
+          let cum = cum + n in
+          if cum >= rank then
+            let upper = if k = min_int then 0.0 else 2.0 ** float_of_int k in
+            Float.max h.hs_min (Float.min upper h.hs_max)
+          else walk cum rest
+    in
+    walk 0 h.hs_buckets
 
 type snapshot = {
   s_counters : (string * int) list;
@@ -118,6 +144,7 @@ let snapshot () =
                 {
                   hs_count = h.count;
                   hs_sum = h.sum;
+                  hs_min = (if h.count = 0 then 0.0 else h.min_value);
                   hs_max = (if h.count = 0 then 0.0 else h.max_value);
                   hs_buckets =
                     List.sort compare
@@ -135,6 +162,7 @@ let reset () =
         (fun _ h ->
           h.count <- 0;
           h.sum <- 0.0;
+          h.min_value <- infinity;
           h.max_value <- neg_infinity;
           Hashtbl.reset h.buckets)
         histograms)
@@ -171,9 +199,12 @@ let to_json s =
     (fun i (name, h) ->
       sep i;
       addf
-        "    \"%s\": {\"count\": %d, \"sum\": %.9f, \"max\": %.9f, \
-         \"buckets\": ["
-        (json_escape name) h.hs_count h.hs_sum h.hs_max;
+        "    \"%s\": {\"count\": %d, \"sum\": %.9f, \"min\": %.9f, \
+         \"max\": %.9f, \"p50\": %.9f, \"p90\": %.9f, \"p99\": %.9f, \
+         \"p999\": %.9f, \"buckets\": ["
+        (json_escape name) h.hs_count h.hs_sum h.hs_min h.hs_max
+        (percentile h 0.5) (percentile h 0.9) (percentile h 0.99)
+        (percentile h 0.999);
       List.iteri
         (fun j (k, n) ->
           if j > 0 then addf ", ";
@@ -195,7 +226,9 @@ let pp ppf s =
     Fmt.pf ppf "histograms:@,";
     List.iter
       (fun (n, h) ->
-        Fmt.pf ppf "  %-44s n=%d sum=%.4fs max=%.4fs@," n h.hs_count h.hs_sum
+        Fmt.pf ppf
+          "  %-44s n=%d sum=%.4fs min=%.4fs p50=%.4fs p99=%.4fs max=%.4fs@," n
+          h.hs_count h.hs_sum h.hs_min (percentile h 0.5) (percentile h 0.99)
           h.hs_max)
       s.s_histograms
   end

@@ -30,9 +30,17 @@ val span : histogram -> (unit -> 'a) -> 'a
 type hist_snapshot = {
   hs_count : int;
   hs_sum : float;
-  hs_max : float;
+  hs_min : float;  (** exact minimum observation (0 when empty) *)
+  hs_max : float;  (** exact maximum observation (0 when empty) *)
   hs_buckets : (int * int) list;  (** (bucket exponent, count), ascending *)
 }
+
+val percentile : hist_snapshot -> float -> float
+(** [percentile h q] for [q] in [[0, 1]]: a conservative estimate of the
+    [q]-quantile from the log2 buckets — the upper bound [2^k] of the
+    bucket containing rank [ceil (q * count)], clamped into
+    [[hs_min, hs_max]].  Never under-reports; a quantile landing in the
+    top occupied bucket returns the exact maximum.  [0] when empty. *)
 
 type snapshot = {
   s_counters : (string * int) list;  (** sorted by name *)

@@ -1,0 +1,875 @@
+(* Deterministic discrete-event soak engine.
+
+   One campaign = scenarios x build variants.  Each run is sharded into
+   fixed-size slices of kernel entries; a shard boots a fresh kernel,
+   spawns the scenario's tenants and virtual devices, and then simply
+   plays user level: whatever thread the kernel scheduler left on the CPU
+   issues the next event of its program.  Devices are interval timers
+   armed through [Kernel.schedule_irq]; every delivery's observed
+   response latency (from the line's own assert cycle) is collected via
+   the kernel's delivery hook and checked against the computed WCET
+   bound.
+
+   Shard count and shard PRNG streams depend only on (seed, entries) —
+   never on the domain count — and shard results merge in submission
+   order, so campaign output is byte-identical for any parallelism. *)
+
+open Sel4.Ktypes
+module B = Sel4.Boot
+module K = Sel4.Kernel
+module Build = Sel4.Build
+module Invariants = Sel4.Invariants
+module Prng = Sel4_rt.Prng
+module Parallel = Sel4_rt.Parallel
+module Analysis_ctx = Sel4_rt.Analysis_ctx
+module Response_time = Sel4_rt.Response_time
+module Kernel_model = Sel4_rt.Kernel_model
+module Pinning = Sel4_rt.Pinning
+
+type arrival =
+  | Periodic of int
+  | Poisson of int
+  | Bursty of { period : int; burst : int; spacing : int }
+
+type device = { dev_line : int; dev_arrival : arrival }
+
+type workload =
+  | Ipc_pingpong
+  | Notification_storm
+  | Cnode_storm
+  | Untyped_churn
+  | Vspace_churn
+
+type scenario = {
+  sc_name : string;
+  sc_workload : workload;
+  sc_tenants : int;
+  sc_devices : device list;
+}
+
+(* The standard soak mix.  Inter-arrival times are chosen so interrupts
+   land inside kernel entries of every length class; two devices per
+   scenario (where meaningful) exercise the multi-IRQ queueing path. *)
+let scenarios =
+  [
+    {
+      sc_name = "ipc_pingpong";
+      sc_workload = Ipc_pingpong;
+      sc_tenants = 6;
+      sc_devices =
+        [
+          { dev_line = 1; dev_arrival = Periodic 21_001 };
+          { dev_line = 2; dev_arrival = Poisson 34_000 };
+        ];
+    };
+    {
+      sc_name = "ntfn_storm";
+      sc_workload = Notification_storm;
+      sc_tenants = 6;
+      sc_devices =
+        [
+          { dev_line = 1; dev_arrival = Periodic 15_013 };
+          {
+            dev_line = 3;
+            dev_arrival = Bursty { period = 120_000; burst = 4; spacing = 2_500 };
+          };
+        ];
+    };
+    {
+      sc_name = "cnode_storm";
+      sc_workload = Cnode_storm;
+      sc_tenants = 4;
+      sc_devices = [ { dev_line = 2; dev_arrival = Poisson 26_000 } ];
+    };
+    {
+      sc_name = "untyped_churn";
+      sc_workload = Untyped_churn;
+      sc_tenants = 4;
+      sc_devices =
+        [
+          { dev_line = 1; dev_arrival = Periodic 17_989 };
+          {
+            dev_line = 4;
+            dev_arrival = Bursty { period = 90_000; burst = 3; spacing = 3_000 };
+          };
+        ];
+    };
+    {
+      sc_name = "vspace_churn";
+      sc_workload = Vspace_churn;
+      sc_tenants = 3;
+      sc_devices =
+        [
+          { dev_line = 2; dev_arrival = Poisson 23_000 };
+          { dev_line = 5; dev_arrival = Periodic 40_009 };
+        ];
+    };
+  ]
+
+(* --- statistics --- *)
+
+type latency_stats = {
+  ls_count : int;
+  ls_sum : int;
+  ls_min : int;
+  ls_p50 : int;
+  ls_p90 : int;
+  ls_p99 : int;
+  ls_p999 : int;
+  ls_max : int;
+  ls_buckets : (int * int) list;
+}
+
+let empty_stats =
+  {
+    ls_count = 0;
+    ls_sum = 0;
+    ls_min = 0;
+    ls_p50 = 0;
+    ls_p90 = 0;
+    ls_p99 = 0;
+    ls_p999 = 0;
+    ls_max = 0;
+    ls_buckets = [];
+  }
+
+(* Metrics bucket convention: exponent k covers (2^(k-1), 2^k]. *)
+let bucket_of v =
+  let rec bits n = if n = 0 then 0 else 1 + bits (n lsr 1) in
+  if v <= 0 then min_int else bits (v - 1)
+
+let stats_of values =
+  match values with
+  | [] -> empty_stats
+  | _ ->
+      let arr = Array.of_list values in
+      Array.sort compare arr;
+      let n = Array.length arr in
+      let q p =
+        arr.(min (n - 1) (max 0 (int_of_float (ceil (p *. float_of_int n)) - 1)))
+      in
+      let buckets = Hashtbl.create 16 in
+      Array.iter
+        (fun v ->
+          let k = bucket_of v in
+          Hashtbl.replace buckets k
+            (1 + Option.value ~default:0 (Hashtbl.find_opt buckets k)))
+        arr;
+      {
+        ls_count = n;
+        ls_sum = Array.fold_left ( + ) 0 arr;
+        ls_min = arr.(0);
+        ls_p50 = q 0.5;
+        ls_p90 = q 0.9;
+        ls_p99 = q 0.99;
+        ls_p999 = q 0.999;
+        ls_max = arr.(n - 1);
+        ls_buckets =
+          List.sort compare
+            (Hashtbl.fold (fun k c acc -> (k, c) :: acc) buckets []);
+      }
+
+type violation = {
+  v_line : int;
+  v_latency : int;
+  v_queued : int;
+  v_allowed : int;
+}
+
+type run_result = {
+  rr_scenario : string;
+  rr_build : string;
+  rr_pinned : bool;
+  rr_entries : int;
+  rr_preempted : int;
+  rr_restarts : int;
+  rr_failed : int;
+  rr_deliveries : int;
+  rr_queued_deliveries : int;
+  rr_bound : int;
+  rr_irq_wcet : int;
+  rr_latency : latency_stats;
+  rr_violations : violation list;
+  rr_invariant_failures : string list;
+}
+
+type report = {
+  rp_seed : int;
+  rp_entries_per_run : int;
+  rp_total_entries : int;
+  rp_total_deliveries : int;
+  rp_runs : run_result list;
+  rp_ok : bool;
+}
+
+let margin_percent rr =
+  if rr.rr_latency.ls_count = 0 || rr.rr_bound = 0 then 100.0
+  else
+    100.0
+    *. float_of_int (rr.rr_bound - rr.rr_latency.ls_max)
+    /. float_of_int rr.rr_bound
+
+(* --- per-shard world --- *)
+
+type dev_state = {
+  d_line : int;
+  d_arrival : arrival;
+  d_rng : Prng.t;
+  mutable d_burst_left : int;
+}
+
+let next_delay d =
+  match d.d_arrival with
+  | Periodic p -> p
+  | Poisson mean ->
+      let u = Prng.float d.d_rng in
+      max 500 (int_of_float (-.log (1.0 -. u) *. float_of_int mean))
+  | Bursty { period; burst; spacing } ->
+      if d.d_burst_left > 0 then begin
+        d.d_burst_left <- d.d_burst_left - 1;
+        spacing
+      end
+      else begin
+        d.d_burst_left <- max 0 (burst - 1);
+        period
+      end
+
+(* One thread's user-level program: called whenever the kernel scheduler
+   leaves that thread on the CPU, returns the next event it traps with. *)
+type actor = { a_tcb : tcb; a_next : unit -> K.event }
+
+type shard_out = {
+  so_deliveries : (int * int * int) list;  (* line, latency, queued *)
+  so_entries : int;
+  so_preempted : int;
+  so_restarts : int;
+  so_failed : int;
+  so_inv : string list;
+}
+
+(* Tenant priorities: spread over [30, 79], deterministic in the index,
+   never colliding with the root orchestrator (5) or the device interrupt
+   handlers (150+). *)
+let tenant_priority i = 30 + (i * 17 mod 50)
+
+let frames_per_vspace_tenant = 4
+
+exception Setup_failure of string
+
+let run_shard ~build ~config ~selection ~scenario ~entries ~(rng : Prng.t) () =
+  let cpu = Hw.Cpu.create config in
+  (match selection with
+  | Some sel -> Pinning.install sel (Hw.Cpu.machine cpu)
+  | None -> ());
+  let env = B.boot ~cpu ~root_priority:5 build in
+  let k = env.B.k in
+  let next_slot = ref B.first_free_slot in
+  let alloc_slot () =
+    let s = !next_slot in
+    incr next_slot;
+    if s >= Array.length env.B.root_cnode.cn_slots then
+      raise (Setup_failure "root cnode exhausted");
+    s
+  in
+  let as_root ev =
+    K.force_run k env.B.root_tcb;
+    match K.run_to_completion k ev with
+    | K.Completed -> ()
+    | K.Preempted -> raise (Setup_failure "setup preempted")
+    | K.Failed e -> raise (Setup_failure e)
+  in
+  (* Devices: one notification + one high-priority handler thread per
+     line, bound through the real IRQ-control path. *)
+  let devices =
+    List.mapi
+      (fun j d ->
+        let ntfn_slot = alloc_slot () in
+        let _ = B.spawn_notification env ~dest:ntfn_slot in
+        as_root
+          (K.Ev_invoke
+             (K.Inv_bind_irq_notification
+                { line = d.dev_line; ntfn = B.cptr ntfn_slot }));
+        let handler = B.spawn_thread env ~priority:(150 + j) ~dest:(alloc_slot ()) in
+        B.make_runnable env handler;
+        K.force_run k handler;
+        (match K.kernel_entry k (K.Ev_wait { ntfn = B.cptr ntfn_slot }) with
+        | K.Completed -> ()
+        | K.Preempted | K.Failed _ -> raise (Setup_failure "handler wait"));
+        let dev =
+          {
+            d_line = d.dev_line;
+            d_arrival = d.dev_arrival;
+            d_rng = Prng.split_at rng (100 + j);
+            d_burst_left = 0;
+          }
+        in
+        (dev, { a_tcb = handler; a_next = (fun () -> K.Ev_wait { ntfn = B.cptr ntfn_slot }) }))
+      scenario.sc_devices
+  in
+  let dev_states = List.map fst devices in
+  let handler_actors = List.map snd devices in
+  (* Tenants, per workload. *)
+  let tenant_actors =
+    match scenario.sc_workload with
+    | Ipc_pingpong ->
+        (* Pairs: even index = server (reply-recv loop), odd = client
+           (call loop) on the pair's endpoint. *)
+        let pairs = max 1 (scenario.sc_tenants / 2) in
+        List.concat
+          (List.init pairs (fun p ->
+               let ep_slot = alloc_slot () in
+               let _ = B.spawn_endpoint env ~dest:ep_slot in
+               let server =
+                 B.spawn_thread env ~priority:(tenant_priority (2 * p))
+                   ~dest:(alloc_slot ())
+               in
+               let client =
+                 B.spawn_thread env
+                   ~priority:(tenant_priority ((2 * p) + 1))
+                   ~dest:(alloc_slot ())
+               in
+               B.make_runnable env server;
+               B.make_runnable env client;
+               let crng = Prng.split_at rng (2 * p) in
+               [
+                 {
+                   a_tcb = server;
+                   a_next =
+                     (fun () -> K.Ev_reply_recv { ep = B.cptr ep_slot; msg_len = 1 });
+                 };
+                 {
+                   a_tcb = client;
+                   a_next =
+                     (fun () ->
+                       K.Ev_call
+                         {
+                           ep = B.cptr ep_slot;
+                           badge_hint = 0;
+                           msg_len = 1 + Prng.int crng 4;
+                           extra_caps = [];
+                         });
+                 };
+               ]))
+    | Notification_storm ->
+        let words = 3 in
+        let ntfn_slots = List.init words (fun _ -> alloc_slot ()) in
+        List.iter (fun s -> ignore (B.spawn_notification env ~dest:s)) ntfn_slots;
+        let ntfn_arr = Array.of_list ntfn_slots in
+        List.init scenario.sc_tenants (fun i ->
+            let t =
+              B.spawn_thread env ~priority:(tenant_priority i)
+                ~dest:(alloc_slot ())
+            in
+            B.make_runnable env t;
+            let trng = Prng.split_at rng i in
+            let signaler = i mod 2 = 0 in
+            {
+              a_tcb = t;
+              a_next =
+                (fun () ->
+                  let ntfn = B.cptr ntfn_arr.(Prng.int trng words) in
+                  if signaler then
+                    if Prng.int trng 4 = 0 then K.Ev_poll { ntfn }
+                    else K.Ev_signal { ntfn }
+                  else
+                    match Prng.int trng 3 with
+                    | 0 -> K.Ev_wait { ntfn }
+                    | 1 -> K.Ev_poll { ntfn }
+                    | _ -> K.Ev_signal { ntfn });
+            })
+    | Cnode_storm ->
+        let ep_slot = alloc_slot () in
+        let _ = B.spawn_endpoint env ~dest:ep_slot in
+        List.init scenario.sc_tenants (fun i ->
+            let t =
+              B.spawn_thread env ~priority:(tenant_priority i)
+                ~dest:(alloc_slot ())
+            in
+            B.make_runnable env t;
+            let s0 = alloc_slot () and s1 = alloc_slot () and s2 = alloc_slot () in
+            let phase = ref 0 in
+            {
+              a_tcb = t;
+              a_next =
+                (fun () ->
+                  let p = !phase in
+                  phase := (p + 1) mod 5;
+                  let slots = env.B.root_cnode.cn_slots in
+                  match p with
+                  | 0 ->
+                      K.Ev_invoke
+                        (K.Inv_copy
+                           {
+                             src = B.cptr ep_slot;
+                             dest_slot = slots.(s0);
+                             badge = Some (1 + i);
+                           })
+                  | 1 ->
+                      K.Ev_invoke
+                        (K.Inv_copy
+                           {
+                             src = B.cptr ep_slot;
+                             dest_slot = slots.(s1);
+                             badge = Some (100 + i);
+                           })
+                  | 2 ->
+                      K.Ev_invoke
+                        (K.Inv_move { src = B.cptr s1; dest_slot = slots.(s2) })
+                  | 3 -> K.Ev_invoke (K.Inv_delete { target = B.cptr s0 })
+                  | _ -> K.Ev_invoke (K.Inv_delete { target = B.cptr s2 }));
+            })
+    | Untyped_churn ->
+        List.init scenario.sc_tenants (fun i ->
+            let t =
+              B.spawn_thread env ~priority:(tenant_priority i)
+                ~dest:(alloc_slot ())
+            in
+            B.make_runnable env t;
+            let s0 = alloc_slot ()
+            and s1 = alloc_slot ()
+            and s2 = alloc_slot ()
+            and s3 = alloc_slot () in
+            let phase = ref 0 in
+            {
+              a_tcb = t;
+              a_next =
+                (fun () ->
+                  let p = !phase in
+                  phase := (p + 1) mod 7;
+                  let slots = env.B.root_cnode.cn_slots in
+                  let retype obj_type dest_slots =
+                    K.Ev_invoke
+                      (K.Inv_retype
+                         { ut = B.ut_cptr; obj_type; count = List.length dest_slots; dest_slots })
+                  in
+                  match p with
+                  | 0 -> retype Endpoint_object [ slots.(s0); slots.(s1) ]
+                  | 1 -> retype Notification_object [ slots.(s2) ]
+                  | 2 -> retype (Frame_object 12) [ slots.(s3) ]
+                  | 3 -> K.Ev_invoke (K.Inv_delete { target = B.cptr s0 })
+                  | 4 -> K.Ev_invoke (K.Inv_delete { target = B.cptr s1 })
+                  | 5 -> K.Ev_invoke (K.Inv_delete { target = B.cptr s2 })
+                  | _ -> K.Ev_invoke (K.Inv_delete { target = B.cptr s3 }));
+            })
+    | Vspace_churn ->
+        (* One ASID pool shared by the shard; a page directory, page
+           table and four small frames per tenant.  The cyclic program
+           maps and unmaps frames and periodically deletes the page
+           table with live mappings — the §3.6 preemptible teardown —
+           then rebuilds it through the real retype path. *)
+        let pool_slot = alloc_slot () in
+        as_root
+          (K.Ev_invoke
+             (K.Inv_make_asid_pool
+                {
+                  ut = B.ut_cptr;
+                  dest_slot = env.B.root_cnode.cn_slots.(pool_slot);
+                  top_index = 0;
+                }));
+        List.init scenario.sc_tenants (fun i ->
+            let t =
+              B.spawn_thread env ~priority:(tenant_priority i)
+                ~dest:(alloc_slot ())
+            in
+            B.make_runnable env t;
+            let pd_slot = alloc_slot () and pt_slot = alloc_slot () in
+            let frame_slots =
+              List.init frames_per_vspace_tenant (fun _ -> alloc_slot ())
+            in
+            let slots = env.B.root_cnode.cn_slots in
+            ignore
+              (B.retype_syscall env Page_directory_object ~count:1 ~dest:pd_slot);
+            as_root
+              (K.Ev_invoke
+                 (K.Inv_assign_asid
+                    { pool = B.cptr pool_slot; pd = B.cptr pd_slot }));
+            ignore (B.retype_syscall env Page_table_object ~count:1 ~dest:pt_slot);
+            List.iter
+              (fun s -> ignore (B.retype_syscall env (Frame_object 12) ~count:1 ~dest:s))
+              frame_slots;
+            let base = 0x1000_0000 * (i + 1) in
+            let f = Array.of_list frame_slots in
+            let phase = ref 0 in
+            let map_pt () =
+              K.Ev_invoke
+                (K.Inv_map_page_table
+                   { pt = B.cptr pt_slot; pd = B.cptr pd_slot; vaddr = base })
+            in
+            let map_f j =
+              K.Ev_invoke
+                (K.Inv_map_frame
+                   {
+                     frame = B.cptr f.(j);
+                     pd = B.cptr pd_slot;
+                     vaddr = base + (j * 0x1000);
+                   })
+            in
+            let unmap_f j = K.Ev_invoke (K.Inv_unmap_frame { frame = B.cptr f.(j) }) in
+            {
+              a_tcb = t;
+              a_next =
+                (fun () ->
+                  let p = !phase in
+                  phase := (p + 1) mod 11;
+                  match p with
+                  | 0 -> map_pt ()
+                  | 1 -> map_f 0
+                  | 2 -> map_f 1
+                  | 3 -> map_f 2
+                  | 4 -> unmap_f 0
+                  | 5 -> map_f 3
+                  | 6 -> unmap_f 1
+                  (* f2 and f3 still mapped: the delete below does real
+                     teardown work. *)
+                  | 7 -> K.Ev_invoke (K.Inv_delete { target = B.cptr pt_slot })
+                  | 8 -> unmap_f 2
+                  | 9 -> unmap_f 3
+                  | _ ->
+                      K.Ev_invoke
+                        (K.Inv_retype
+                           {
+                             ut = B.ut_cptr;
+                             obj_type = Page_table_object;
+                             count = 1;
+                             dest_slots = [ slots.(pt_slot) ];
+                           }));
+            })
+  in
+  let root_actor = { a_tcb = env.B.root_tcb; a_next = (fun () -> K.Ev_yield) } in
+  let actors = (root_actor :: handler_actors) @ tenant_actors in
+  let actor_of tcb = List.find_opt (fun a -> a.a_tcb == tcb) actors in
+  (* Arm every device once; thereafter each re-arms at its own delivery. *)
+  let arm d = K.schedule_irq k d.d_line ~delay:(next_delay d) in
+  List.iter arm dev_states;
+  (* Driver state. *)
+  let restart : (int, K.event) Hashtbl.t = Hashtbl.create 16 in
+  let pending_deliv = ref [] in
+  K.set_irq_delivery_hook k
+    (Some (fun line latency -> pending_deliv := (line, latency, K.cycles k) :: !pending_deliv));
+  let deliveries = ref [] in
+  let recent = ref [] in
+  let failed = ref 0 in
+  let inv = ref [] in
+  let entries_done = ref 0 in
+  let sample_invariants () =
+    if List.length !inv < 8 then
+      match Invariants.check_result k with
+      | Ok () -> ()
+      | Error vs ->
+          inv :=
+            !inv
+            @ List.map
+                (fun v -> Fmt.str "%s entry %d: %s" scenario.sc_name !entries_done v)
+                vs
+  in
+  let take n l =
+    let rec go n = function
+      | [] -> []
+      | _ when n = 0 -> []
+      | x :: tl -> x :: go (n - 1) tl
+    in
+    go n l
+  in
+  let run_entry issuer ev =
+    (match issuer with Some t -> Hashtbl.remove restart t.tcb_id | None -> ());
+    (match K.kernel_entry k ev with
+    | K.Completed -> ()
+    | K.Preempted -> (
+        match issuer with
+        | Some t -> Hashtbl.replace restart t.tcb_id ev
+        | None -> ())
+    | K.Failed _ -> incr failed);
+    incr entries_done;
+    let ds = List.rev !pending_deliv in
+    pending_deliv := [];
+    List.iter
+      (fun (line, latency, cyc) ->
+        let asserted = cyc - latency in
+        let queued =
+          List.length (List.filter (fun c -> c > asserted && c < cyc) !recent)
+        in
+        recent := cyc :: take 63 !recent;
+        deliveries := (line, latency, queued) :: !deliveries;
+        match List.find_opt (fun d -> d.d_line = line) dev_states with
+        | Some d -> arm d
+        | None -> ())
+      ds;
+    if !entries_done mod 512 = 0 then sample_invariants ()
+  in
+  while !entries_done < entries do
+    if k.K.pending_irqs <> [] then run_entry None K.Ev_interrupt
+    else
+      let cur = k.K.current in
+      if cur == k.K.idle then begin
+        (match K.next_armed_irq k with
+        | Some (fire, _) ->
+            let now = K.cycles k in
+            if fire > now then Hw.Cpu.tick cpu (fire - now)
+        | None -> List.iter arm dev_states);
+        run_entry None K.Ev_interrupt
+      end
+      else
+        let ev =
+          match Hashtbl.find_opt restart cur.tcb_id with
+          | Some ev -> ev
+          | None -> (
+              match actor_of cur with
+              | Some a -> a.a_next ()
+              | None -> K.Ev_yield)
+        in
+        run_entry (Some cur) ev
+  done;
+  sample_invariants ();
+  K.set_irq_delivery_hook k None;
+  {
+    so_deliveries = List.rev !deliveries;
+    so_entries = !entries_done;
+    so_preempted = K.preempted_events k;
+    so_restarts = k.K.syscall_restarts;
+    so_failed = !failed;
+    so_inv = !inv;
+  }
+
+(* --- campaign --- *)
+
+let shard_size = 4096
+
+let shard_sizes entries =
+  let rec go n = if n <= shard_size then [ n ] else shard_size :: go (n - shard_size) in
+  if entries <= 0 then [] else go entries
+
+type run_spec = {
+  rs_index : int;
+  rs_label : string;
+  rs_build : Build.t;
+  rs_pinned : bool;
+  rs_config : Hw.Config.t;
+  rs_selection : Pinning.selection option;
+  rs_scenario : scenario;
+  rs_bound : int;
+  rs_irq_wcet : int;
+}
+
+let build_variants =
+  [
+    ("lazy", { Build.improved with Build.sched = Build.Lazy }, false);
+    ("benno", { Build.improved with Build.sched = Build.Benno }, false);
+    ("benno_bitmap", Build.improved, false);
+    ("benno_bitmap+pin", Build.improved, true);
+  ]
+
+let finish_run spec shards =
+  let deliveries = List.concat_map (fun s -> s.so_deliveries) shards in
+  let single = List.filter_map (fun (_, l, q) -> if q = 0 then Some l else None) deliveries in
+  let violations =
+    List.filter_map
+      (fun (line, latency, queued) ->
+        let allowed = spec.rs_bound + (queued * spec.rs_irq_wcet) in
+        if latency > allowed then
+          Some { v_line = line; v_latency = latency; v_queued = queued; v_allowed = allowed }
+        else None)
+      deliveries
+  in
+  {
+    rr_scenario = spec.rs_scenario.sc_name;
+    rr_build = spec.rs_label;
+    rr_pinned = spec.rs_pinned;
+    rr_entries = List.fold_left (fun a s -> a + s.so_entries) 0 shards;
+    rr_preempted = List.fold_left (fun a s -> a + s.so_preempted) 0 shards;
+    rr_restarts = List.fold_left (fun a s -> a + s.so_restarts) 0 shards;
+    rr_failed = List.fold_left (fun a s -> a + s.so_failed) 0 shards;
+    rr_deliveries = List.length deliveries;
+    rr_queued_deliveries =
+      List.length (List.filter (fun (_, _, q) -> q > 0) deliveries);
+    rr_bound = spec.rs_bound;
+    rr_irq_wcet = spec.rs_irq_wcet;
+    rr_latency = stats_of single;
+    rr_violations = violations;
+    rr_invariant_failures = List.concat_map (fun s -> s.so_inv) shards;
+  }
+
+let run_campaign ?pool ?(seed = 42) ?entries ?(smoke = false) ?only () =
+  let pool = match pool with Some p -> p | None -> Parallel.default () in
+  let entries =
+    match entries with Some e -> e | None -> if smoke then 1_500 else 52_000
+  in
+  let chosen =
+    match only with
+    | None -> scenarios
+    | Some names -> List.filter (fun s -> List.mem s.sc_name names) scenarios
+  in
+  let root = Prng.create seed in
+  (* Analysis inputs, computed once per build variant (serial; the
+     engine's cache makes repeats cheap). *)
+  let specs =
+    List.concat_map
+      (fun sc ->
+        List.map
+          (fun (label, build, pinned) ->
+            let config =
+              if pinned then Hw.Config.with_pinning Hw.Config.default
+              else Hw.Config.default
+            in
+            let selection = if pinned then Some (Pinning.select build) else None in
+            let pins =
+              match selection with
+              | None -> Analysis_ctx.no_pins
+              | Some sel ->
+                  {
+                    Analysis_ctx.code = sel.Pinning.code_lines;
+                    data = sel.Pinning.data_lines;
+                  }
+            in
+            let actx = Analysis_ctx.make ~config ~pins ~build () in
+            {
+              rs_index = 0;
+              rs_label = label;
+              rs_build = build;
+              rs_pinned = pinned;
+              rs_config = config;
+              rs_selection = selection;
+              rs_scenario = sc;
+              rs_bound = Response_time.interrupt_response_bound actx;
+              rs_irq_wcet = Response_time.computed_cycles actx Kernel_model.Interrupt;
+            })
+          build_variants)
+      chosen
+  in
+  let specs = List.mapi (fun i s -> { s with rs_index = i }) specs in
+  (* Flatten (run, shard) jobs into one batch for load balance; regroup
+     in submission order afterwards. *)
+  let jobs =
+    List.concat_map
+      (fun spec ->
+        let run_rng = Prng.split_at root spec.rs_index in
+        List.mapi
+          (fun shard_i n ->
+            ( spec.rs_index,
+              run_shard ~build:spec.rs_build ~config:spec.rs_config
+                ~selection:spec.rs_selection ~scenario:spec.rs_scenario
+                ~entries:n
+                ~rng:(Prng.split_at run_rng shard_i) ))
+          (shard_sizes entries))
+      specs
+  in
+  let outs = Parallel.run_all pool (List.map (fun (_, job) -> job) jobs) in
+  let tagged = List.combine (List.map fst jobs) outs in
+  let runs =
+    List.map
+      (fun spec ->
+        finish_run spec
+          (List.filter_map
+             (fun (i, out) -> if i = spec.rs_index then Some out else None)
+             tagged))
+      specs
+  in
+  let total_entries = List.fold_left (fun a r -> a + r.rr_entries) 0 runs in
+  let total_deliveries = List.fold_left (fun a r -> a + r.rr_deliveries) 0 runs in
+  let ok =
+    List.for_all
+      (fun r -> r.rr_violations = [] && r.rr_invariant_failures = [])
+      runs
+  in
+  (* Feed the merged campaign into the metrics registry (serially, so the
+     registry contents are deterministic too). *)
+  Obs.Metrics.incr ~by:total_entries (Obs.Metrics.counter "sim.entries");
+  Obs.Metrics.incr ~by:total_deliveries (Obs.Metrics.counter "sim.deliveries");
+  Obs.Metrics.incr
+    ~by:(List.fold_left (fun a r -> a + List.length r.rr_violations) 0 runs)
+    (Obs.Metrics.counter "sim.violations");
+  let h = Obs.Metrics.histogram "sim.irq_latency_cycles" in
+  List.iter
+    (fun r ->
+      List.iter
+        (fun (k, c) ->
+          (* Re-observe one representative value per bucket count; exact
+             values already live in the report, the registry keeps the
+             shape. *)
+          for _ = 1 to c do
+            Obs.Metrics.observe h (Float.of_int (1 lsl max 0 k))
+          done)
+        r.rr_latency.ls_buckets)
+    runs;
+  {
+    rp_seed = seed;
+    rp_entries_per_run = entries;
+    rp_total_entries = total_entries;
+    rp_total_deliveries = total_deliveries;
+    rp_runs = runs;
+    rp_ok = ok;
+  }
+
+(* --- reporting --- *)
+
+let take_violations rr =
+  let rec take n = function
+    | [] -> []
+    | _ when n = 0 -> []
+    | x :: tl -> x :: take (n - 1) tl
+  in
+  take 5 rr.rr_violations
+
+let pp_report ppf r =
+  Fmt.pf ppf "soak campaign: seed %d, %d entries/run, %d runs@." r.rp_seed
+    r.rp_entries_per_run (List.length r.rp_runs);
+  Fmt.pf ppf "%-16s %-18s %9s %8s %8s %8s %8s %9s %7s %5s@." "scenario" "build"
+    "entries" "deliv" "p50" "p99" "max" "bound" "margin" "viol";
+  List.iter
+    (fun rr ->
+      Fmt.pf ppf "%-16s %-18s %9d %8d %8d %8d %8d %9d %6.1f%% %5d@."
+        rr.rr_scenario rr.rr_build rr.rr_entries rr.rr_deliveries
+        rr.rr_latency.ls_p50 rr.rr_latency.ls_p99 rr.rr_latency.ls_max
+        rr.rr_bound (margin_percent rr)
+        (List.length rr.rr_violations))
+    r.rp_runs;
+  List.iter
+    (fun rr ->
+      List.iter
+        (fun v ->
+          Fmt.pf ppf "VIOLATION %s/%s line %d: latency %d > allowed %d (queued %d)@."
+            rr.rr_scenario rr.rr_build v.v_line v.v_latency v.v_allowed v.v_queued)
+        (take_violations rr);
+      List.iter
+        (fun msg -> Fmt.pf ppf "INVARIANT %s/%s: %s@." rr.rr_scenario rr.rr_build msg)
+        rr.rr_invariant_failures)
+    r.rp_runs;
+  Fmt.pf ppf "totals: %d entries, %d deliveries -> %s@." r.rp_total_entries
+    r.rp_total_deliveries
+    (if r.rp_ok then "OK (all latencies within the computed bound)" else "FAILED")
+
+let report_json r =
+  let buf = Buffer.create 4096 in
+  let addf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  addf "{\"seed\": %d, \"entries_per_run\": %d, \"total_entries\": %d, " r.rp_seed
+    r.rp_entries_per_run r.rp_total_entries;
+  addf "\"total_deliveries\": %d, \"ok\": %b, \"runs\": [" r.rp_total_deliveries
+    r.rp_ok;
+  List.iteri
+    (fun i rr ->
+      if i > 0 then addf ", ";
+      addf
+        "{\"scenario\": \"%s\", \"build\": \"%s\", \"pinned\": %b, \
+         \"entries\": %d, \"preempted\": %d, \"restarts\": %d, \"failed\": %d, \
+         \"deliveries\": %d, \"queued_deliveries\": %d, \"bound\": %d, \
+         \"irq_wcet\": %d, \"violations\": %d, \"invariant_failures\": %d, "
+        rr.rr_scenario rr.rr_build rr.rr_pinned rr.rr_entries rr.rr_preempted
+        rr.rr_restarts rr.rr_failed rr.rr_deliveries rr.rr_queued_deliveries
+        rr.rr_bound rr.rr_irq_wcet
+        (List.length rr.rr_violations)
+        (List.length rr.rr_invariant_failures);
+      let s = rr.rr_latency in
+      addf
+        "\"latency\": {\"count\": %d, \"min\": %d, \"p50\": %d, \"p90\": %d, \
+         \"p99\": %d, \"p999\": %d, \"max\": %d, \"margin_percent\": %.2f, \
+         \"buckets\": ["
+        s.ls_count s.ls_min s.ls_p50 s.ls_p90 s.ls_p99 s.ls_p999 s.ls_max
+        (margin_percent rr);
+      List.iteri
+        (fun j (k, c) ->
+          if j > 0 then addf ", ";
+          addf "{\"le_pow2\": %d, \"count\": %d}" k c)
+        s.ls_buckets;
+      addf "]}}")
+    r.rp_runs;
+  addf "]}";
+  Buffer.contents buf

@@ -1,0 +1,120 @@
+(** Deterministic discrete-event soak engine (the §6-style long-horizon
+    campaign): seeded multi-tenant syscall traffic plus virtual devices
+    asserting interrupts under configurable arrival processes, run for
+    large entry counts on the executable kernel, with every observed
+    interrupt response latency validated against the computed WCET bound.
+
+    Determinism: a campaign is a pure function of [(seed, entries)].  Work
+    is sharded into fixed-size slices whose PRNG streams derive from the
+    shard index alone ({!Sel4_rt.Prng.split_at}), shards run on the
+    {!Sel4_rt.Parallel} pool, and results merge in submission order — so
+    the merged histograms are byte-identical for any domain count. *)
+
+(** Device interrupt arrival process, in cycles between assertions. *)
+type arrival =
+  | Periodic of int  (** fixed inter-arrival time *)
+  | Poisson of int  (** exponential inter-arrival times with this mean *)
+  | Bursty of { period : int; burst : int; spacing : int }
+      (** [burst] assertions [spacing] cycles apart, then a [period] gap *)
+
+type device = { dev_line : int; dev_arrival : arrival }
+
+(** Workload program executed by the tenant threads of a scenario. *)
+type workload =
+  | Ipc_pingpong  (** client/server call + reply-recv pairs over endpoints *)
+  | Notification_storm  (** signal / wait / poll churn on shared words *)
+  | Cnode_storm  (** badged mint / move / delete decode storms *)
+  | Untyped_churn  (** retype small objects and delete them again *)
+  | Vspace_churn  (** map/unmap frames, page-table teardown and rebuild *)
+
+type scenario = {
+  sc_name : string;
+  sc_workload : workload;
+  sc_tenants : int;  (** workload threads, at mixed priorities *)
+  sc_devices : device list;
+}
+
+val scenarios : scenario list
+(** The standard five-scenario soak mix. *)
+
+(** Exact latency statistics of one run, in cycles.  Percentiles are
+    computed from the full sorted sample (not a sketch); [ls_buckets] is
+    the log2 histogram in {!Obs.Metrics} bucket convention (exponent [k]
+    covers [(2^(k-1), 2^k]]). *)
+type latency_stats = {
+  ls_count : int;
+  ls_sum : int;
+  ls_min : int;
+  ls_p50 : int;
+  ls_p90 : int;
+  ls_p99 : int;
+  ls_p999 : int;
+  ls_max : int;
+  ls_buckets : (int * int) list;
+}
+
+type violation = {
+  v_line : int;
+  v_latency : int;
+  v_queued : int;  (** other deliveries between this line's assert and
+                       delivery *)
+  v_allowed : int;  (** the bound it was checked against *)
+}
+
+type run_result = {
+  rr_scenario : string;
+  rr_build : string;  (** scheduler/pinning label *)
+  rr_pinned : bool;
+  rr_entries : int;
+  rr_preempted : int;
+  rr_restarts : int;
+  rr_failed : int;  (** kernel entries returning [Failed] (e.g. exhausted
+                        untyped) — workload noise, not gate failures *)
+  rr_deliveries : int;
+  rr_queued_deliveries : int;  (** deliveries with at least one other
+                                   delivery in their response window *)
+  rr_bound : int;  (** computed interrupt-response bound (cycles) *)
+  rr_irq_wcet : int;  (** computed interrupt-path WCET, the per-queued
+                          -delivery surcharge *)
+  rr_latency : latency_stats;
+      (** single-outstanding deliveries — the paper's headline quantity,
+          gated against [rr_bound] *)
+  rr_violations : violation list;
+  rr_invariant_failures : string list;
+}
+
+type report = {
+  rp_seed : int;
+  rp_entries_per_run : int;
+  rp_total_entries : int;
+  rp_total_deliveries : int;
+  rp_runs : run_result list;
+  rp_ok : bool;
+}
+
+val margin_percent : run_result -> float
+(** Headroom of the bound over the observed worst case:
+    [100 * (bound - max) / bound] (100 when nothing was observed). *)
+
+val run_campaign :
+  ?pool:Sel4_rt.Parallel.t ->
+  ?seed:int ->
+  ?entries:int ->
+  ?smoke:bool ->
+  ?only:string list ->
+  unit ->
+  report
+(** Run every scenario against the three scheduler variants (all other
+    improvements enabled) plus a cache-pinned variant of the improved
+    build, [entries] kernel entries each (default 52_000, or 1_500 with
+    [smoke]).  [only] restricts to the named scenarios.  The gate holds
+    when every observed latency is within its computed bound — plain for
+    single-outstanding deliveries, plus one interrupt-path WCET per other
+    delivery in the response window — and no sampled invariant check
+    failed. *)
+
+val pp_report : report Fmt.t
+
+val report_json : report -> string
+(** The report as a JSON object (the ["sim"] section of
+    [BENCH_wcet.json]). *)

@@ -243,6 +243,56 @@ let test_pinned_lines_survive_workload () =
         (Hw.Cache.probe (Hw.Machine.icache machine) line))
     selection.Sel4_rt.Pinning.code_lines
 
+(* --- the shared PRNG --- *)
+
+let test_prng_deterministic () =
+  let a = Sel4_rt.Prng.create 42 and b = Sel4_rt.Prng.create 42 in
+  for _ = 1 to 100 do
+    check_bool "same stream" true (Sel4_rt.Prng.next64 a = Sel4_rt.Prng.next64 b)
+  done;
+  let c = Sel4_rt.Prng.create 43 in
+  check_bool "different seed, different stream" false
+    (Sel4_rt.Prng.next64 a = Sel4_rt.Prng.next64 c)
+
+let test_prng_ranges () =
+  let r = Sel4_rt.Prng.create 7 in
+  for _ = 1 to 1000 do
+    let i = Sel4_rt.Prng.int r 10 in
+    check_bool "int in range" true (i >= 0 && i < 10);
+    let f = Sel4_rt.Prng.float r in
+    check_bool "float in [0,1)" true (f >= 0.0 && f < 1.0)
+  done;
+  check_int "bound <= 0 yields 0" 0 (Sel4_rt.Prng.int r 0)
+
+let test_prng_split_at_pure () =
+  let parent = Sel4_rt.Prng.create 11 in
+  ignore (Sel4_rt.Prng.next64 parent);
+  let before = Sel4_rt.Prng.state parent in
+  let c3 = Sel4_rt.Prng.split_at parent 3 in
+  let c3' = Sel4_rt.Prng.split_at parent 3 in
+  check_bool "split_at does not advance the parent" true
+    (Sel4_rt.Prng.state parent = before);
+  for _ = 1 to 20 do
+    check_bool "same child index, same stream" true
+      (Sel4_rt.Prng.next64 c3 = Sel4_rt.Prng.next64 c3')
+  done;
+  let c4 = Sel4_rt.Prng.split_at parent 4 in
+  check_bool "distinct child indices diverge" false
+    (Sel4_rt.Prng.next64 (Sel4_rt.Prng.split_at parent 3)
+    = Sel4_rt.Prng.next64 c4)
+
+let test_prng_split_independent_of_draws () =
+  (* The i-th child depends only on the parent state at the split, not on
+     how many other children were split off before it. *)
+  let p1 = Sel4_rt.Prng.create 5 and p2 = Sel4_rt.Prng.create 5 in
+  ignore (Sel4_rt.Prng.split_at p1 0);
+  ignore (Sel4_rt.Prng.split_at p1 1);
+  let a = Sel4_rt.Prng.split_at p1 9 and b = Sel4_rt.Prng.split_at p2 9 in
+  for _ = 1 to 20 do
+    check_bool "child 9 identical" true
+      (Sel4_rt.Prng.next64 a = Sel4_rt.Prng.next64 b)
+  done
+
 let () =
   Alcotest.run "core"
     [
@@ -285,5 +335,14 @@ let () =
             test_case "selection fits way" `Quick test_pin_selection_fits_way;
             test_case "pins survive workload" `Quick
               test_pinned_lines_survive_workload;
+          ] );
+      ( "prng",
+        Alcotest.
+          [
+            test_case "deterministic per seed" `Quick test_prng_deterministic;
+            test_case "ranges" `Quick test_prng_ranges;
+            test_case "split_at is pure" `Quick test_prng_split_at_pure;
+            test_case "split independent of draws" `Quick
+              test_prng_split_independent_of_draws;
           ] );
     ]

@@ -432,6 +432,84 @@ let test_retype_latency_original_vs_improved () =
     true
     (original_latency > 10 * improved_latency)
 
+(* Several device timers armed during one long operation: deliveries come
+   out earliest-first (ties broken by arming order), each with a latency
+   measured from its own line's assert cycle, and the whole schedule is
+   deterministic. *)
+let multi_irq_deliveries build =
+  let cpu = Hw.Cpu.create Hw.Config.default in
+  let env = B.boot ~cpu build in
+  let deliveries = ref [] in
+  K.set_irq_delivery_hook env.B.k
+    (Some (fun line latency -> deliveries := (line, latency) :: !deliveries));
+  (* Lines 3 and 5 fire at the same cycle; 7 later.  A 256 KiB retype
+     keeps the kernel busy well past all three fire times. *)
+  K.schedule_irq env.B.k 7 ~delay:9_000;
+  K.schedule_irq env.B.k 3 ~delay:5_000;
+  K.schedule_irq env.B.k 5 ~delay:5_000;
+  expect_completed "retype"
+    (K.run_to_completion env.B.k
+       (K.Ev_invoke
+          (K.Inv_retype
+             {
+               ut = B.ut_cptr;
+               obj_type = Frame_object 18;
+               count = 1;
+               dest_slots = [ env.B.root_cnode.cn_slots.(10) ];
+             })));
+  (* Drain anything still armed or pending: one delivery per entry. *)
+  let rec drain guard =
+    if guard = 0 then Alcotest.fail "irq drain did not terminate";
+    if env.B.k.K.pending_irqs <> [] then begin
+      expect_completed "drain" (K.kernel_entry env.B.k K.Ev_interrupt);
+      drain (guard - 1)
+    end
+    else
+      match K.next_armed_irq env.B.k with
+      | None -> ()
+      | Some (fire, _) ->
+          let now = K.cycles env.B.k in
+          if fire > now then Hw.Cpu.tick cpu (fire - now);
+          expect_completed "drain" (K.kernel_entry env.B.k K.Ev_interrupt);
+          drain (guard - 1)
+  in
+  drain 16;
+  K.set_irq_delivery_hook env.B.k None;
+  check_invariants "after multi-irq run" env;
+  (List.rev !deliveries, K.worst_irq_latency env.B.k)
+
+let test_multi_irq_delivery_deterministic () =
+  List.iter
+    (fun build ->
+      let first, _ = multi_irq_deliveries build in
+      let second, _ = multi_irq_deliveries build in
+      check_int "three deliveries" 3 (List.length first);
+      Alcotest.(check (list int))
+        "earliest-first, ties by arming order" [ 3; 5; 7 ] (List.map fst first);
+      Alcotest.(check (list (pair int int)))
+        "schedule replays identically" first second)
+    [ improved; original ]
+
+let test_multi_irq_worst_latency_accounting () =
+  let deliveries, worst = multi_irq_deliveries improved in
+  List.iter
+    (fun (line, latency) ->
+      check_bool (Fmt.str "line %d latency positive" line) true (latency > 0);
+      check_bool
+        (Fmt.str "worst (%d) covers line %d (%d)" worst line latency)
+        true (worst >= latency))
+    deliveries;
+  check_int "worst is the max per-line latency" worst
+    (List.fold_left (fun a (_, l) -> max a l) 0 deliveries);
+  (* The improved kernel preempts the retype, so the first delivery is
+     bounded by a preemption interval, not the whole operation. *)
+  let _, original_worst = multi_irq_deliveries original in
+  check_bool
+    (Fmt.str "unpreemptible worst (%d) dwarfs improved (%d)" original_worst
+       worst)
+    true
+    (original_worst > 3 * worst)
+
 (* Forward progress: even if an interrupt is re-armed after every
    preemption, the incremental-consistency design guarantees each restart
    retires at least one unit of work, so the operation completes within a
@@ -1501,6 +1579,10 @@ let () =
               test_retype_latency_original_vs_improved;
             test_case "forward progress under storm" `Quick
               test_forward_progress_under_interrupt_storm;
+            test_case "multi-irq deterministic" `Quick
+              test_multi_irq_delivery_deterministic;
+            test_case "multi-irq worst latency" `Quick
+              test_multi_irq_worst_latency_accounting;
           ] );
       ( "badged-abort",
         Alcotest.

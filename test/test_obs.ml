@@ -370,6 +370,41 @@ let test_metrics_span_and_reset () =
   check_bool "histograms zeroed" true
     (List.for_all (fun (_, h) -> h.M.hs_count = 0) s.M.s_histograms)
 
+let test_metrics_percentiles () =
+  let h = M.histogram "test.pct" in
+  for v = 1 to 100 do
+    M.observe h (float_of_int v)
+  done;
+  match List.assoc_opt "test.pct" (M.snapshot ()).M.s_histograms with
+  | None -> Alcotest.fail "histogram missing"
+  | Some hs ->
+      check_bool "exact min" true (hs.M.hs_min = 1.0);
+      check_bool "exact max" true (hs.M.hs_max = 100.0);
+      (* Rank 50 lands in bucket (32, 64]; the conservative estimate is
+         its upper bound. *)
+      check_bool "p50 bucket upper bound" true (M.percentile hs 0.5 = 64.0);
+      (* Quantiles that never under-report: the estimate dominates the
+         exact value from the raw sample. *)
+      List.iter
+        (fun q ->
+          let exact =
+            float_of_int
+              (max 1 (int_of_float (Float.ceil (q *. float_of_int hs.M.hs_count))))
+          in
+          check_bool
+            (Fmt.str "p%g conservative" (q *. 100.0))
+            true
+            (M.percentile hs q >= exact))
+        [ 0.1; 0.5; 0.9; 0.99; 1.0 ];
+      (* The top quantile clamps to the exact maximum. *)
+      check_bool "p100 is exact max" true (M.percentile hs 1.0 = 100.0);
+      check_bool "p0 clamps to min" true (M.percentile hs 0.0 >= 1.0);
+      let empty = M.histogram "test.pct_empty" in
+      ignore empty;
+      match List.assoc_opt "test.pct_empty" (M.snapshot ()).M.s_histograms with
+      | Some e -> check_bool "empty percentile" true (M.percentile e 0.5 = 0.0)
+      | None -> Alcotest.fail "empty histogram missing"
+
 let () =
   Alcotest.run "obs"
     [
@@ -395,5 +430,6 @@ let () =
           Alcotest.test_case "json dump" `Quick test_metrics_json;
           Alcotest.test_case "span and reset" `Quick
             test_metrics_span_and_reset;
+          Alcotest.test_case "percentiles" `Quick test_metrics_percentiles;
         ] );
     ]

@@ -1,0 +1,119 @@
+(* The soak simulator: the validation gate holds on a small campaign, and
+   a campaign is a pure function of its seed — byte-identical whether the
+   shards run serially or across domains. *)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* One small two-scenario campaign, reused across the tests below (the
+   engine is deterministic, so recomputing it is just wall-clock). *)
+let small ?seed () =
+  Sim.run_campaign ?seed ~entries:1_200
+    ~only:[ "ipc_pingpong"; "untyped_churn" ]
+    ()
+
+let test_gate_holds () =
+  let r = small () in
+  check_bool "campaign ok" true r.Sim.rp_ok;
+  check_int "two scenarios x four builds" 8 (List.length r.Sim.rp_runs);
+  List.iter
+    (fun rr ->
+      check_int
+        (Fmt.str "%s/%s entries" rr.Sim.rr_scenario rr.Sim.rr_build)
+        1_200 rr.Sim.rr_entries;
+      check_bool "no violations" true (rr.Sim.rr_violations = []);
+      check_bool "no invariant failures" true
+        (rr.Sim.rr_invariant_failures = []);
+      check_bool "interrupts delivered" true (rr.Sim.rr_deliveries > 0);
+      check_bool "bound positive" true (rr.Sim.rr_bound > 0))
+    r.Sim.rp_runs
+
+let test_latency_stats_ordered () =
+  let r = small () in
+  List.iter
+    (fun rr ->
+      let s = rr.Sim.rr_latency in
+      if s.Sim.ls_count > 0 then begin
+        check_bool "min <= p50" true (s.Sim.ls_min <= s.Sim.ls_p50);
+        check_bool "p50 <= p90" true (s.Sim.ls_p50 <= s.Sim.ls_p90);
+        check_bool "p90 <= p99" true (s.Sim.ls_p90 <= s.Sim.ls_p99);
+        check_bool "p99 <= p99.9" true (s.Sim.ls_p99 <= s.Sim.ls_p999);
+        check_bool "p99.9 <= max" true (s.Sim.ls_p999 <= s.Sim.ls_max);
+        check_bool "max within bound" true (s.Sim.ls_max <= rr.Sim.rr_bound);
+        check_int "bucket counts sum to count" s.Sim.ls_count
+          (List.fold_left (fun a (_, c) -> a + c) 0 s.Sim.ls_buckets)
+      end)
+    r.Sim.rp_runs
+
+let test_same_seed_identical () =
+  let a = Sim.report_json (small ()) in
+  let b = Sim.report_json (small ()) in
+  check_bool "same seed, identical report" true (a = b);
+  let c = Sim.report_json (small ~seed:1 ()) in
+  check_bool "different seed, different traffic" true (a <> c)
+
+let test_serial_equals_parallel () =
+  Sel4_rt.Parallel.set_serial true;
+  let serial =
+    Fun.protect
+      ~finally:(fun () -> Sel4_rt.Parallel.set_serial false)
+      (fun () -> Sim.report_json (small ()))
+  in
+  let parallel = Sim.report_json (small ()) in
+  check_bool "byte-identical across domain counts" true (serial = parallel)
+
+let test_scheduler_differential () =
+  (* Same seed, same scenarios: every scheduler variant and the pinned
+     build must pass the gate, and the per-build bounds must reflect the
+     paper's ordering (lazy >= benno >= bitmap >= bitmap+pin). *)
+  let r = small () in
+  let bound_of label =
+    match
+      List.find_opt (fun rr -> rr.Sim.rr_build = label) r.Sim.rp_runs
+    with
+    | Some rr -> rr.Sim.rr_bound
+    | None -> Alcotest.failf "missing build %s" label
+  in
+  check_bool "lazy bound dominates benno" true
+    (bound_of "lazy" >= bound_of "benno");
+  check_bool "benno bound dominates bitmap" true
+    (bound_of "benno" >= bound_of "benno_bitmap");
+  check_bool "pinning tightens the bound" true
+    (bound_of "benno_bitmap" >= bound_of "benno_bitmap+pin")
+
+let test_report_json_shape () =
+  let r = small () in
+  let json = Sim.report_json r in
+  check_bool "has seed" true
+    (String.length json > 2 && json.[0] = '{');
+  List.iter
+    (fun needle ->
+      let found =
+        let nl = String.length needle and jl = String.length json in
+        let rec scan i = i + nl <= jl && (String.sub json i nl = needle || scan (i + 1)) in
+        scan 0
+      in
+      check_bool (Fmt.str "json mentions %s" needle) true found)
+    [
+      "\"ok\": true";
+      "\"scenario\": \"ipc_pingpong\"";
+      "\"build\": \"benno_bitmap+pin\"";
+      "\"p99\"";
+      "\"margin_percent\"";
+      "\"buckets\"";
+    ]
+
+let () =
+  Alcotest.run "sim"
+    [
+      ( "soak",
+        Alcotest.
+          [
+            test_case "gate holds" `Quick test_gate_holds;
+            test_case "latency stats ordered" `Quick test_latency_stats_ordered;
+            test_case "same seed identical" `Quick test_same_seed_identical;
+            test_case "serial equals parallel" `Slow test_serial_equals_parallel;
+            test_case "scheduler differential" `Quick test_scheduler_differential;
+            test_case "report json shape" `Quick test_report_json_shape;
+          ] );
+    ]
