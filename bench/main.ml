@@ -55,13 +55,15 @@ let run_inject () =
   inject_report := Some report;
   Fmt.pr "%a@." Inject.pp_report report
 
-(* The latest soak-campaign report, kept for the --json summary. *)
-let sim_report : Sim.report option ref = ref None
+(* The latest soak-campaign report and its wall-clock economics, kept for
+   the --json summary. *)
+let sim_report : (Sim.report * Sim.throughput) option ref = ref None
 
 let run_sim () =
-  let report = Sim.run_campaign ~smoke:true () in
-  sim_report := Some report;
-  Fmt.pr "%a@." Sim.pp_report report
+  let report, th = Sim.run_campaign_timed ~smoke:true () in
+  sim_report := Some (report, th);
+  Fmt.pr "%a@." Sim.pp_report report;
+  Fmt.pr "%a@." Sim.pp_throughput th
 
 (* --- Bechamel microbenchmarks --- *)
 
@@ -321,7 +323,8 @@ let write_json ~path ~section_times ~engine_wall_s ~serial_fresh_wall_s
       addf "  ]},\n");
   (match sim_rep with
   | None -> ()
-  | Some (r : Sim.report) -> addf "  \"sim\": %s,\n" (Sim.report_json r));
+  | Some ((r : Sim.report), (th : Sim.throughput)) ->
+      addf "  \"sim\": %s,\n" (Sim.campaign_json r th));
   addf "  \"analysis\": [\n";
   List.iteri
     (fun i (r : Sel4_rt.Experiments.analysis_cost_row) ->

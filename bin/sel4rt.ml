@@ -435,10 +435,15 @@ let inject_cmd =
     Term.(const run $ smoke_arg $ seed_arg $ l2_arg)
 
 let sim_cmd =
-  let run smoke seed entries only =
+  let run smoke seed entries only inv_every collect =
     let only = match only with [] -> None | l -> Some l in
-    let report = Sim.run_campaign ~smoke ~seed ?entries ?only () in
+    let report, th =
+      Sim.run_campaign_timed ~smoke ~seed ?entries ?only ?inv_every ~collect ()
+    in
     Fmt.pr "%a@." Sim.pp_report report;
+    (* Wall-clock economics go to stderr: stdout is covered by the
+       byte-identity contract (fixed seed => fixed bytes). *)
+    Fmt.epr "%a@." Sim.pp_throughput th;
     if not report.Sim.rp_ok then exit 1
   in
   let smoke_arg =
@@ -467,6 +472,24 @@ let sim_cmd =
       & info [ "scenario" ] ~docv:"NAME"
           ~doc:"Restrict to the named scenario (repeatable).")
   in
+  let inv_every_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "inv-every" ] ~docv:"N"
+          ~doc:
+            "Run the invariant catalogue every N entries (0 = off; default \
+             512, or 0 under $(b,--smoke)).  Checks charge no simulated \
+             cycles, so the period never changes the report.")
+  in
+  let collect_arg =
+    Arg.(
+      value & flag
+      & info [ "collect" ]
+          ~doc:
+            "Collect all shard results before merging instead of the \
+             constant-memory streaming fold (same report bytes; for \
+             differential testing).")
+  in
   Cmd.v
     (Cmd.info "sim"
        ~doc:
@@ -477,7 +500,9 @@ let sim_cmd =
           bound. Deterministic for a fixed seed regardless of the domain \
           count. Exits non-zero if any latency exceeds its bound or an \
           invariant check fails.")
-    Term.(const run $ smoke_arg $ seed_arg $ entries_arg $ only_arg)
+    Term.(
+      const run $ smoke_arg $ seed_arg $ entries_arg $ only_arg $ inv_every_arg
+      $ collect_arg)
 
 let pins_cmd =
   let run build =

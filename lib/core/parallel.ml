@@ -192,3 +192,98 @@ let map pool f xs =
   end
 
 let run_all pool thunks = map pool (fun f -> f ()) thunks
+
+(* --- streaming ordered fold --- *)
+
+type 'a fold_slot =
+  | Fold_pending
+  | Fold_done of 'a
+  | Fold_consumed  (* merged into the accumulator, or the job raised *)
+
+(* Fold thunk results into [init] in submission order, merging each result
+   on the submitting domain as soon as the ordered prefix is complete.
+   Equivalent to [run_all] followed by [List.fold_left merge init], but
+   retains at most the out-of-order window of results (bounded by the
+   domain count) instead of the whole batch — this is what keeps soak
+   campaigns at constant memory in the job count.  Merge order never
+   depends on completion order, so the fold is deterministic under any
+   parallelism.  The submitter alternates between merging ready results
+   and helping run unclaimed jobs. *)
+let fold_ordered pool ~init ~merge thunks =
+  let arr = Array.of_list thunks in
+  let n = Array.length arr in
+  if n = 0 then init
+  else if
+    n <= 1 || pool.size = 0
+    || Atomic.get serial_override
+    || Domain.DLS.get in_worker
+  then Array.fold_left (fun acc th -> merge acc (th ())) init arr
+  else begin
+    let slots = Array.init n (fun _ -> Atomic.make Fold_pending) in
+    let error = Atomic.make None in
+    let run i =
+      (match arr.(i) () with
+      | r -> Atomic.set slots.(i) (Fold_done r)
+      | exception e ->
+          let bt = Printexc.get_raw_backtrace () in
+          ignore (Atomic.compare_and_set error None (Some (e, bt)));
+          Atomic.set slots.(i) Fold_consumed);
+      (* Wake the submitter after every job, not only the batch's last:
+         it may be blocked on exactly this slot. *)
+      Mutex.lock pool.lock;
+      Condition.broadcast pool.finished;
+      Mutex.unlock pool.lock
+    in
+    Obs.Metrics.incr m_batches;
+    Obs.Metrics.incr ~by:n m_jobs;
+    let b =
+      { count = n; run; next = Atomic.make 0; remaining = Atomic.make n }
+    in
+    Mutex.lock pool.lock;
+    pool.batches <- pool.batches @ [ b ];
+    Condition.broadcast pool.work;
+    Mutex.unlock pool.lock;
+    let acc = ref init in
+    let merged = ref 0 in
+    let drain_ready () =
+      let continue = ref true in
+      while !continue && !merged < n do
+        match Atomic.get slots.(!merged) with
+        | Fold_done r ->
+            Atomic.set slots.(!merged) Fold_consumed;  (* release for GC *)
+            acc := merge !acc r;
+            incr merged
+        | Fold_consumed -> incr merged  (* job raised: nothing to merge *)
+        | Fold_pending -> continue := false
+      done
+    in
+    while !merged < n do
+      drain_ready ();
+      if !merged < n then begin
+        let i = Atomic.fetch_and_add b.next 1 in
+        if i < b.count then begin
+          b.run i;
+          if Atomic.fetch_and_add b.remaining (-1) = 1 then begin
+            Mutex.lock pool.lock;
+            Condition.broadcast pool.finished;
+            Mutex.unlock pool.lock
+          end
+        end
+        else begin
+          (* Every job is claimed; sleep until the next-to-merge slot is
+             filled.  The slot check and the workers' broadcast both run
+             under the pool lock, so the wakeup cannot be lost. *)
+          Mutex.lock pool.lock;
+          (match Atomic.get slots.(!merged) with
+          | Fold_pending when Atomic.get b.remaining > 0 ->
+              Condition.wait pool.finished pool.lock
+          | _ -> ());
+          Mutex.unlock pool.lock
+        end
+      end
+    done;
+    (match Atomic.get error with
+    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+    | None -> ());
+    !acc
+  end

@@ -31,6 +31,17 @@ val map : t -> ('a -> 'b) -> 'a list -> 'b list
 val run_all : t -> (unit -> 'a) list -> 'a list
 (** Run a batch of thunks, returning results in submission order. *)
 
+val fold_ordered :
+  t -> init:'b -> merge:('b -> 'a -> 'b) -> (unit -> 'a) list -> 'b
+(** Run a batch of thunks and fold their results in submission order,
+    merging each result on the submitting domain as soon as the ordered
+    prefix is complete.  Semantically [run_all] followed by
+    [List.fold_left merge init], but streaming: at most the out-of-order
+    window of results (bounded by the domain count) is retained, so memory
+    stays constant in the batch size.  Merge order never depends on
+    completion order.  Exceptions raised by jobs are re-raised after the
+    batch drains; an errored job contributes nothing to the fold. *)
+
 val set_serial : bool -> unit
 (** Force every subsequent [map] onto the calling domain (used to measure
     the serial baseline in benchmarks and determinism tests). *)

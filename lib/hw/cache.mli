@@ -37,6 +37,19 @@ val access : t -> write:bool -> int -> outcome
 (** Perform an access, updating LRU state and inserting the line on a miss
     (into an unlocked way). *)
 
+val access_enc : t -> write:bool -> int -> int
+(** Allocation-free variant of {!access} for the simulator's hot loop:
+    returns [0] for a hit, [1] for a miss with no dirty eviction, [2] for a
+    miss that evicted a dirty line.  Identical state evolution to
+    {!access}. *)
+
+val note_seq_hits : t -> int -> unit
+(** Account [n] hits without probing the cache.  Only sound when the caller
+    knows the accesses would hit the line made most-recently-used by the
+    immediately preceding access (e.g. sequential fetches within one
+    I-cache line): re-touching the MRU line cannot change any future
+    replacement decision, so statistics are the only state to update. *)
+
 val probe : t -> int -> bool
 (** Does the address currently hit?  No state update. *)
 

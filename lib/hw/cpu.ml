@@ -18,6 +18,8 @@ type access_kind = Fetch | Load | Store
 
 type t = {
   machine : Machine.t;
+  l1_hit : int;  (* cached Config.l1_hit_cycles: avoids re-reading the
+                    config record on every load/store *)
   mutable cycles : int;
   mutable stall : int;
       (* cycles spent in the memory hierarchy (fetch/load/store latency
@@ -36,6 +38,7 @@ type t = {
 let create config =
   {
     machine = Machine.create config;
+    l1_hit = config.Config.l1_hit_cycles;
     cycles = 0;
     stall = 0;
     instructions = 0;
@@ -49,6 +52,7 @@ let create config =
 let of_machine machine =
   {
     machine;
+    l1_hit = (Machine.config machine).Config.l1_hit_cycles;
     cycles = 0;
     stall = 0;
     instructions = 0;
@@ -82,6 +86,7 @@ let clear_trace_buffer t =
   Machine.set_pin_evict_hook t.machine None
 
 let trace_buffer t = t.events
+let tracing t = match t.events with Some _ -> true | None -> false
 
 let machine t = t.machine
 let config t = Machine.config t.machine
@@ -98,12 +103,20 @@ let exec t ~base ~count =
   assert (count >= 0);
   t.instructions <- t.instructions + count;
   t.cycles <- t.cycles + count;
-  for i = 0 to count - 1 do
-    trace t Fetch (base + (4 * i));
-    let lat = Machine.fetch t.machine (base + (4 * i)) in
-    t.cycles <- t.cycles + lat;
-    t.stall <- t.stall + lat
-  done
+  match t.tracer with
+  | None ->
+      (* Untraced hot path: charge the whole run in one pass over the
+         I-cache lines instead of one probe per instruction. *)
+      let lat = Machine.fetch_run t.machine ~base ~count in
+      t.cycles <- t.cycles + lat;
+      t.stall <- t.stall + lat
+  | Some f ->
+      for i = 0 to count - 1 do
+        f Fetch (base + (4 * i));
+        let lat = Machine.fetch t.machine (base + (4 * i)) in
+        t.cycles <- t.cycles + lat;
+        t.stall <- t.stall + lat
+      done
 
 let load t addr =
   t.loads <- t.loads + 1;
@@ -111,14 +124,14 @@ let load t addr =
   let lat = Machine.read t.machine addr in
   t.cycles <- t.cycles + lat;
   (* The L1-hit cost is the pipeline's load-use cost, not a stall. *)
-  t.stall <- t.stall + max 0 (lat - (Machine.config t.machine).Config.l1_hit_cycles)
+  t.stall <- t.stall + max 0 (lat - t.l1_hit)
 
 let store t addr =
   t.stores <- t.stores + 1;
   trace t Store addr;
   let lat = Machine.write t.machine addr in
   t.cycles <- t.cycles + lat;
-  t.stall <- t.stall + max 0 (lat - (Machine.config t.machine).Config.l1_hit_cycles)
+  t.stall <- t.stall + max 0 (lat - t.l1_hit)
 
 let branch t ~pc ~taken =
   t.branches <- t.branches + 1;

@@ -54,6 +54,10 @@ val set_trace_buffer : t -> Obs.Trace.t -> unit
 val clear_trace_buffer : t -> unit
 val trace_buffer : t -> Obs.Trace.t option
 
+val tracing : t -> bool
+(** A trace buffer is attached.  Emission sites on hot paths check this
+    before constructing the event, so tracing costs nothing when off. *)
+
 val emit : t -> Obs.Trace.kind -> unit
 (** Emit one event into the attached buffer (no-op when none). *)
 

@@ -22,6 +22,12 @@ val fetch : t -> int -> int
 (** Cycles of instruction-fetch stall for the given code address (0 on an
     L1-I hit, where the fetch overlaps execution). *)
 
+val fetch_run : t -> base:int -> count:int -> int
+(** Total fetch stall for [count] sequential 4-byte instruction fetches
+    starting at [base].  Cycle- and state-identical to summing {!fetch}
+    over each address, but probes the I-cache only once per line (the
+    remaining fetches on a line are guaranteed hits). *)
+
 val branch : t -> pc:int -> taken:bool -> int
 (** Branch cost: constant with the predictor disabled, outcome-dependent
     otherwise. *)

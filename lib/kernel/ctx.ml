@@ -5,18 +5,28 @@
    tests); with a CPU attached, every instruction, load, store and branch
    goes through the cache/memory hierarchy and accumulates cycles. *)
 
+(* Interrupt state is int-encoded: [irq_arrival = no_irq] (a negative
+   sentinel) means no interrupt pending, and armed timers live in a
+   preallocated int array compacted in place.  The soak simulator polls
+   [irq_pending] at every preemption point and kernel exit across hundreds
+   of millions of entries; option boxes and timer lists here dominate its
+   allocation profile. *)
+let no_irq = -1
+
 type t = {
   cpu : Hw.Cpu.t option;
   build : Build.t;
-  mutable irq_arrival : int option;
+  mutable irq_arrival : int;
       (* Cycle at which the earliest still-pending interrupt arrived;
-         [None] when no interrupt is pending.  Set by the harness, cleared
-         when the kernel takes the interrupt. *)
-  mutable irq_timers : int list;
+         [no_irq] when no interrupt is pending.  Set by the harness,
+         cleared when the kernel takes the interrupt. *)
+  mutable timer_buf : int array;
       (* Future interrupts: each becomes pending when the cycle counter
          reaches it.  Lets tests, benchmarks and the soak simulator fire
          interrupts in the middle of long-running kernel operations; the
-         kernel tracks which line each timer belongs to. *)
+         kernel tracks which line each timer belongs to.  Only the first
+         [timer_count] slots are live. *)
+  mutable timer_count : int;
   mutable irq_latency_worst : int;
   mutable irq_latency_last : int;
   mutable preempt_count : int;  (* preemption points taken (not checks) *)
@@ -27,20 +37,55 @@ type t = {
          [true] asserts an interrupt at exactly this poll — the mechanism
          the injection campaigns use to hit the k-th preemption point
          deterministically, independent of cycle counts. *)
+  region_names : string array;
+      (* Physical-equality memo over {!Layout.code}: [exec]/[branch] call
+         sites pass string literals, so a pointer scan resolves the region
+         without hashing the name on every charge.  Slots beyond
+         [region_count] are unused; overflow falls back to the hashed
+         lookup. *)
+  region_memo : Layout.code_region array;
+  mutable region_count : int;
 }
+
+let region_memo_cap = 64
 
 let create ?cpu build =
   {
     cpu;
     build;
-    irq_arrival = None;
-    irq_timers = [];
+    irq_arrival = no_irq;
+    timer_buf = Array.make 8 0;
+    timer_count = 0;
     irq_latency_worst = 0;
     irq_latency_last = 0;
     preempt_count = 0;
     preempt_polls = 0;
     on_preempt_poll = None;
+    region_names = Array.make region_memo_cap "";
+    region_memo = Array.make region_memo_cap (snd (List.hd Layout.regions));
+    region_count = 0;
   }
+
+(* Resolve a region name by pointer comparison against previously seen
+   names before falling back to the hashed lookup.  Call sites pass
+   literals, so after warm-up every charge resolves in a few compares. *)
+let region_of t name =
+  let n = t.region_count in
+  let names = t.region_names in
+  let i = ref 0 in
+  while !i < n && Array.unsafe_get names !i != name do
+    incr i
+  done;
+  if !i < n then Array.unsafe_get t.region_memo !i
+  else begin
+    let r = Layout.code name in
+    if n < region_memo_cap then begin
+      names.(n) <- name;
+      t.region_memo.(n) <- r;
+      t.region_count <- n + 1
+    end;
+    r
+  end
 
 let cycles t = match t.cpu with Some cpu -> Hw.Cpu.cycles cpu | None -> 0
 
@@ -49,13 +94,18 @@ let cycles t = match t.cpu with Some cpu -> Hw.Cpu.cycles cpu | None -> 0
    the cycle counts it observes. *)
 let emit t kind = match t.cpu with Some cpu -> Hw.Cpu.emit cpu kind | None -> ()
 
+(* Emission sites on hot paths guard on this before building the event:
+   the [Obs.Trace.kind] argument would otherwise heap-allocate per call
+   even with no buffer attached. *)
+let tracing t = match t.cpu with Some cpu -> Hw.Cpu.tracing cpu | None -> false
+
 (* Charge [count] instructions from the code region [name].  The region's
    base gives the fetch addresses. *)
 let exec t name count =
   match t.cpu with
   | None -> ()
   | Some cpu ->
-      let region = Layout.code name in
+      let region = region_of t name in
       Hw.Cpu.exec cpu ~base:region.Layout.base ~count
 
 let load t addr = match t.cpu with None -> () | Some cpu -> Hw.Cpu.load cpu addr
@@ -65,7 +115,7 @@ let branch t name ~taken =
   match t.cpu with
   | None -> ()
   | Some cpu ->
-      let region = Layout.code name in
+      let region = region_of t name in
       Hw.Cpu.branch cpu ~pc:region.Layout.base ~taken
 
 (* Bulk store over [bytes] starting at [addr]: one store per cache line
@@ -93,44 +143,60 @@ let load_block t addr bytes =
 
 (* --- interrupts and preemption points --- *)
 
-let raise_irq t = if t.irq_arrival = None then t.irq_arrival <- Some (cycles t)
+let raise_irq t = if t.irq_arrival = no_irq then t.irq_arrival <- cycles t
 
-let schedule_irq_at t cycle = t.irq_timers <- t.irq_timers @ [ cycle ]
+let schedule_irq_at t cycle =
+  (if t.timer_count = Array.length t.timer_buf then begin
+     let bigger = Array.make (2 * Array.length t.timer_buf) 0 in
+     Array.blit t.timer_buf 0 bigger 0 t.timer_count;
+     t.timer_buf <- bigger
+   end);
+  t.timer_buf.(t.timer_count) <- cycle;
+  t.timer_count <- t.timer_count + 1
 
 (* Promote expired timers into the pending interrupt.  The arrival time is
    the earliest expired scheduled cycle, so response latency is measured
    from the moment the first (virtual) device asserted its line;
-   per-line arrival accounting is the kernel's job. *)
+   per-line arrival accounting is the kernel's job.  Live timers are
+   compacted in place, preserving their relative order. *)
 let refresh t =
-  match t.irq_timers with
-  | [] -> ()
-  | timers ->
-      let now = cycles t in
-      let expired, live = List.partition (fun c -> now >= c) timers in
-      if expired <> [] then begin
-        t.irq_timers <- live;
-        let earliest = List.fold_left min max_int expired in
-        match t.irq_arrival with
-        | Some a when a <= earliest -> ()
-        | _ -> t.irq_arrival <- Some earliest
+  if t.timer_count > 0 then begin
+    let now = cycles t in
+    let earliest = ref max_int in
+    let kept = ref 0 in
+    for i = 0 to t.timer_count - 1 do
+      let c = t.timer_buf.(i) in
+      if now >= c then begin
+        if c < !earliest then earliest := c
       end
+      else begin
+        t.timer_buf.(!kept) <- c;
+        incr kept
+      end
+    done;
+    if !earliest < max_int then begin
+      t.timer_count <- !kept;
+      if t.irq_arrival = no_irq || t.irq_arrival > !earliest then
+        t.irq_arrival <- !earliest
+    end
+  end
 
 let irq_pending t =
   refresh t;
-  t.irq_arrival <> None
+  t.irq_arrival <> no_irq
 
 (* Called on the interrupt-dispatch path: record the response latency.
    Returns it so the kernel's interrupt handler can attribute the delivery
    in the event trace. *)
 let note_irq_taken t =
-  match t.irq_arrival with
-  | None -> None
-  | Some arrived ->
-      let latency = cycles t - arrived in
-      t.irq_latency_last <- latency;
-      if latency > t.irq_latency_worst then t.irq_latency_worst <- latency;
-      t.irq_arrival <- None;
-      Some latency
+  if t.irq_arrival = no_irq then None
+  else begin
+    let latency = cycles t - t.irq_arrival in
+    t.irq_latency_last <- latency;
+    if latency > t.irq_latency_worst then t.irq_latency_worst <- latency;
+    t.irq_arrival <- no_irq;
+    Some latency
+  end
 
 (* A preemption point: polls the pending flag (charging the check) and
    reports whether the current long-running operation must give way.
@@ -150,7 +216,7 @@ let preemption_point t =
     end
     else false
   in
-  emit t (Obs.Trace.Preempt_point { taken });
+  if tracing t then emit t (Obs.Trace.Preempt_point { taken });
   taken
 
 let worst_irq_latency t = t.irq_latency_worst

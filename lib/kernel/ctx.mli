@@ -2,11 +2,19 @@
     and observes pending interrupts at preemption points.  With no CPU
     attached the kernel runs uninstrumented (fast functional testing). *)
 
+val no_irq : int
+(** Sentinel for [irq_arrival]: no interrupt pending. *)
+
 type t = {
   cpu : Hw.Cpu.t option;
   build : Build.t;
-  mutable irq_arrival : int option;
-  mutable irq_timers : int list;
+  mutable irq_arrival : int;
+      (** arrival cycle of the earliest pending interrupt; [no_irq] when
+          none is pending *)
+  mutable timer_buf : int array;
+      (** armed timer expiry cycles; only the first [timer_count] slots are
+          live (use {!schedule_irq_at} to arm) *)
+  mutable timer_count : int;
   mutable irq_latency_worst : int;
   mutable irq_latency_last : int;
   mutable preempt_count : int;
@@ -15,6 +23,11 @@ type t = {
       (** fault-injection hook: called with the 1-based poll index before
           the pending check; returning [true] asserts an interrupt at
           exactly this poll (install via {!Kernel.set_injection_hook}) *)
+  region_names : string array;
+      (** physical-equality memo for {!Layout.code} lookups on the charge
+          path; managed by {!exec}/{!branch} *)
+  region_memo : Layout.code_region array;
+  mutable region_count : int;
 }
 
 val create : ?cpu:Hw.Cpu.t -> Build.t -> t
@@ -23,6 +36,10 @@ val cycles : t -> int
 val emit : t -> Obs.Trace.kind -> unit
 (** Emit a structured trace event into the CPU's attached buffer (no-op
     without a CPU or a buffer).  Charges nothing. *)
+
+val tracing : t -> bool
+(** A CPU with a trace buffer is attached — check before building an
+    event for {!emit} on a hot path (the event itself allocates). *)
 
 val exec : t -> string -> int -> unit
 (** [exec t region n]: charge [n] instructions fetched from the named code

@@ -8,7 +8,8 @@
 open Ktypes
 
 let enqueue ctx (ep : endpoint) tcb =
-  Ctx.emit ctx (Obs.Trace.Ep_enqueue { ep = ep.ep_id; tcb = tcb.tcb_id });
+  if Ctx.tracing ctx then
+    Ctx.emit ctx (Obs.Trace.Ep_enqueue { ep = ep.ep_id; tcb = tcb.tcb_id });
   Ctx.exec ctx "endpoint_queue" Costs.ep_enqueue_instrs;
   Ctx.store ctx ep.ep_addr;
   Ctx.store ctx tcb.tcb_addr;
@@ -25,7 +26,8 @@ let enqueue ctx (ep : endpoint) tcb =
       q.tail <- Some tcb
 
 let dequeue ctx (ep : endpoint) tcb =
-  Ctx.emit ctx (Obs.Trace.Ep_dequeue { ep = ep.ep_id; tcb = tcb.tcb_id });
+  if Ctx.tracing ctx then
+    Ctx.emit ctx (Obs.Trace.Ep_dequeue { ep = ep.ep_id; tcb = tcb.tcb_id });
   Ctx.exec ctx "endpoint_queue" Costs.ep_dequeue_instrs;
   Ctx.store ctx ep.ep_addr;
   Ctx.store ctx tcb.tcb_addr;

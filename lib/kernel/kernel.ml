@@ -24,15 +24,30 @@ type t = {
   mutable root_slots : slot list;  (* harness-owned slots, for invariants *)
   cap_refs : (int, int) Hashtbl.t;  (* object id -> live cap count *)
   irq_handlers : cap option array;
-  mutable pending_irqs : int list;  (* lines raised but not yet delivered *)
-  mutable armed_irqs : (int * int) list;
-      (* (fire cycle, line): device timers not yet expired; promoted into
-         [pending_irqs] earliest-first once the cycle counter passes the
-         fire cycle *)
-  irq_assert : int option array;
+  (* Interrupt state is int-encoded in preallocated arrays: the pending
+     set is a FIFO ring (delivery order) shadowed by a membership bitmask,
+     armed device timers live in parallel fire/line arrays compacted in
+     place, and per-line assert stamps use a negative sentinel instead of
+     an option box.  This sits on the soak simulator's per-entry hot path;
+     the previous list/option encoding allocated on every raise, arm and
+     poll. *)
+  pending_buf : int array;  (* ring of raised, undelivered lines *)
+  mutable pending_head : int;
+  mutable pending_count : int;
+  mutable pending_mask : int;  (* bit per line: membership in the ring *)
+  mutable armed_fire : int array;
+  mutable armed_line : int array;
+      (* (fire cycle, line) device timers not yet expired, first
+         [armed_count] slots live; promoted into the pending ring
+         earliest-first once the cycle counter passes the fire cycle *)
+  mutable armed_count : int;
+  mutable scratch_fire : int array;
+  mutable scratch_line : int array;  (* promote_armed expired-timer buffer *)
+  irq_assert : int array;
       (* per-line cycle at which the pending assertion happened — the
          device's view — so each delivery's latency is measured from its
-         own line's assert, not from the earliest of all pending lines *)
+         own line's assert, not from the earliest of all pending lines;
+         [no_assert] = none *)
   mutable irq_line_worst : int;
   mutable on_irq_deliver : (int -> int -> unit) option;
       (* observer hook: called with (line, latency) at every delivery *)
@@ -42,6 +57,33 @@ type t = {
 
 let num_irqs = 32
 let timer_irq = 0
+let no_assert = -1
+
+(* --- pending-interrupt ring --- *)
+
+let has_pending_irq t = t.pending_count > 0
+let irq_is_pending t line = t.pending_mask land (1 lsl line) <> 0
+
+(* Append [line] to the pending FIFO and stamp its assert cycle; the
+   caller has already checked membership via the mask.  The ring never
+   overflows: the mask bounds it at [num_irqs] distinct lines. *)
+let pending_push t line ~asserted =
+  t.pending_buf.((t.pending_head + t.pending_count) land (num_irqs - 1)) <- line;
+  t.pending_count <- t.pending_count + 1;
+  t.pending_mask <- t.pending_mask lor (1 lsl line);
+  t.irq_assert.(line) <- asserted
+
+let pending_pop t =
+  let line = t.pending_buf.(t.pending_head) in
+  t.pending_head <- (t.pending_head + 1) land (num_irqs - 1);
+  t.pending_count <- t.pending_count - 1;
+  t.pending_mask <- t.pending_mask land lnot (1 lsl line);
+  line
+
+(* The pending lines in delivery order (diagnostics and tests). *)
+let pending_lines t =
+  List.init t.pending_count (fun i ->
+      t.pending_buf.((t.pending_head + i) land (num_irqs - 1)))
 
 (* --- construction --- *)
 
@@ -80,9 +122,16 @@ let create ?cpu (build : Build.t) =
       root_slots = [];
       cap_refs = Hashtbl.create 64;
       irq_handlers = Array.make num_irqs None;
-      pending_irqs = [];
-      armed_irqs = [];
-      irq_assert = Array.make num_irqs None;
+      pending_buf = Array.make num_irqs 0;
+      pending_head = 0;
+      pending_count = 0;
+      pending_mask = 0;
+      armed_fire = Array.make 8 0;
+      armed_line = Array.make 8 0;
+      armed_count = 0;
+      scratch_fire = Array.make 8 0;
+      scratch_line = Array.make 8 0;
+      irq_assert = Array.make num_irqs no_assert;
       irq_line_worst = 0;
       on_irq_deliver = None;
       preempted_events = 0;
@@ -645,11 +694,9 @@ let revoke_cap t (slot : slot) =
 
 let raise_irq t line =
   assert (line >= 0 && line < num_irqs);
-  if not (List.mem line t.pending_irqs) then begin
-    t.pending_irqs <- t.pending_irqs @ [ line ];
-    t.irq_assert.(line) <- Some (Ctx.cycles t.ctx)
-  end;
-  Ctx.emit t.ctx (Obs.Trace.Irq_assert { line });
+  if not (irq_is_pending t line) then
+    pending_push t line ~asserted:(Ctx.cycles t.ctx);
+  if Ctx.tracing t.ctx then Ctx.emit t.ctx (Obs.Trace.Irq_assert { line });
   Ctx.raise_irq t.ctx
 
 (* Arrange for [line] to be asserted once the cycle counter reaches
@@ -659,8 +706,19 @@ let raise_irq t line =
 let schedule_irq t line ~delay =
   assert (line >= 0 && line < num_irqs);
   let fire = Ctx.cycles t.ctx + delay in
-  t.armed_irqs <- t.armed_irqs @ [ (fire, line) ];
-  Ctx.emit t.ctx (Obs.Trace.Irq_armed { line; fire_at = fire });
+  (if t.armed_count = Array.length t.armed_fire then begin
+     let cap = 2 * Array.length t.armed_fire in
+     let grow a = Array.append a (Array.make (cap - Array.length a) 0) in
+     t.armed_fire <- grow t.armed_fire;
+     t.armed_line <- grow t.armed_line;
+     t.scratch_fire <- grow t.scratch_fire;
+     t.scratch_line <- grow t.scratch_line
+   end);
+  t.armed_fire.(t.armed_count) <- fire;
+  t.armed_line.(t.armed_count) <- line;
+  t.armed_count <- t.armed_count + 1;
+  if Ctx.tracing t.ctx then
+    Ctx.emit t.ctx (Obs.Trace.Irq_armed { line; fire_at = fire });
   Ctx.schedule_irq_at t.ctx fire
 
 (* Promote armed lines whose fire cycle has passed into the pending set,
@@ -668,31 +726,61 @@ let schedule_irq t line ~delay =
    deterministic), stamping each line's assert cycle with the cycle its
    (virtual) device raised it.  An already-pending line absorbs the new
    assertion, as a real interrupt controller's level-triggered pending
-   bit would. *)
+   bit would.  Expired slots are gathered into the scratch buffer and
+   insertion-sorted (stable) by fire cycle; live timers compact in place,
+   preserving arming order. *)
 let promote_armed t =
-  match t.armed_irqs with
-  | [] -> ()
-  | armed ->
-      let now = Ctx.cycles t.ctx in
-      let expired, live = List.partition (fun (fire, _) -> now >= fire) armed in
-      if expired <> [] then begin
-        t.armed_irqs <- live;
-        List.iter
-          (fun (fire, line) ->
-            if not (List.mem line t.pending_irqs) then begin
-              t.pending_irqs <- t.pending_irqs @ [ line ];
-              t.irq_assert.(line) <- Some fire
-            end)
-          (List.stable_sort (fun (a, _) (b, _) -> compare a b) expired)
+  if t.armed_count > 0 then begin
+    let now = Ctx.cycles t.ctx in
+    let expired = ref 0 in
+    let kept = ref 0 in
+    for i = 0 to t.armed_count - 1 do
+      let fire = t.armed_fire.(i) in
+      if now >= fire then begin
+        t.scratch_fire.(!expired) <- fire;
+        t.scratch_line.(!expired) <- t.armed_line.(i);
+        incr expired
       end
+      else begin
+        t.armed_fire.(!kept) <- fire;
+        t.armed_line.(!kept) <- t.armed_line.(i);
+        incr kept
+      end
+    done;
+    if !expired > 0 then begin
+      t.armed_count <- !kept;
+      (* Stable insertion sort of the expired timers by fire cycle: equal
+         fire cycles keep arming order, as the list-based
+         [List.stable_sort] promotion did. *)
+      for i = 1 to !expired - 1 do
+        let f = t.scratch_fire.(i) and l = t.scratch_line.(i) in
+        let j = ref (i - 1) in
+        while !j >= 0 && t.scratch_fire.(!j) > f do
+          t.scratch_fire.(!j + 1) <- t.scratch_fire.(!j);
+          t.scratch_line.(!j + 1) <- t.scratch_line.(!j);
+          decr j
+        done;
+        t.scratch_fire.(!j + 1) <- f;
+        t.scratch_line.(!j + 1) <- l
+      done;
+      for i = 0 to !expired - 1 do
+        let line = t.scratch_line.(i) in
+        if not (irq_is_pending t line) then
+          pending_push t line ~asserted:t.scratch_fire.(i)
+      done
+    end
+  end
 
+(* Earliest armed timer (ties resolved to the earliest-armed slot). *)
 let next_armed_irq t =
-  List.fold_left
-    (fun acc (fire, line) ->
-      match acc with
-      | Some (f, _) when f <= fire -> acc
-      | _ -> Some (fire, line))
-    None t.armed_irqs
+  if t.armed_count = 0 then None
+  else begin
+    let best = ref 0 in
+    for i = 1 to t.armed_count - 1 do
+      if t.armed_fire.(i) < t.armed_fire.(!best) then best := i
+    done;
+    Some (t.armed_fire.(!best), t.armed_line.(!best))
+  end
 
 let set_irq_delivery_hook t hook = t.on_irq_deliver <- hook
 
@@ -713,11 +801,10 @@ let set_injection_hook t hook =
           (fun poll ->
             f poll
             && begin
-                 if not (List.mem timer_irq t.pending_irqs) then begin
-                   t.pending_irqs <- t.pending_irqs @ [ timer_irq ];
-                   t.irq_assert.(timer_irq) <- Some (Ctx.cycles t.ctx)
-                 end;
-                 Ctx.emit t.ctx (Obs.Trace.Irq_assert { line = timer_irq });
+                 if not (irq_is_pending t timer_irq) then
+                   pending_push t timer_irq ~asserted:(Ctx.cycles t.ctx);
+                 if Ctx.tracing t.ctx then
+                   Ctx.emit t.ctx (Obs.Trace.Irq_assert { line = timer_irq });
                  true
                end))
 
@@ -734,28 +821,29 @@ let handle_interrupt_internal t =
   ignore (Ctx.irq_pending t.ctx) (* fold expired timers into the arrival *);
   promote_armed t;
   let ctx_latency = Ctx.note_irq_taken t.ctx in
-  match t.pending_irqs with
-  | [] -> ()
-  | line :: rest ->
+  if t.pending_count = 0 then ()
+  else begin
+      let line = pending_pop t in
       let latency =
         (* Prefer the line's own assert cycle: with several outstanding
            interrupts the context-level arrival only tracks the earliest. *)
-        match t.irq_assert.(line) with
-        | Some asserted ->
-            t.irq_assert.(line) <- None;
-            Some (Ctx.cycles t.ctx - asserted)
-        | None -> ctx_latency
+        let asserted = t.irq_assert.(line) in
+        if asserted <> no_assert then begin
+          t.irq_assert.(line) <- no_assert;
+          Some (Ctx.cycles t.ctx - asserted)
+        end
+        else ctx_latency
       in
       (match latency with
       | Some latency ->
           if latency > t.irq_line_worst then t.irq_line_worst <- latency;
-          Ctx.emit t.ctx (Obs.Trace.Irq_deliver { line; latency });
+          if Ctx.tracing t.ctx then
+            Ctx.emit t.ctx (Obs.Trace.Irq_deliver { line; latency });
           (match t.on_irq_deliver with
           | Some hook -> hook line latency
           | None -> ())
       | None -> ());
-      t.pending_irqs <- rest;
-      if rest = [] then () else Ctx.raise_irq t.ctx;
+      if t.pending_count > 0 then Ctx.raise_irq t.ctx;
       Ctx.load t.ctx (Layout.irq_handler_table + (4 * line));
       (match t.irq_handlers.(line) with
       | Some (Notification_cap { ntfn; badge; _ }) when ntfn.ntfn_active ->
@@ -785,6 +873,7 @@ let handle_interrupt_internal t =
         end;
         reschedule t
       end
+  end
 
 (* --- events (kernel entries) --- *)
 
@@ -1236,7 +1325,8 @@ let dispatch t event =
    the call stack and then call the kernel's interrupt handler",
    Section 5.2). *)
 let kernel_entry t event =
-  Ctx.emit t.ctx (Obs.Trace.Kernel_enter { event = event_label event });
+  if Ctx.tracing t.ctx then
+    Ctx.emit t.ctx (Obs.Trace.Kernel_enter { event = event_label event });
   Ctx.exec t.ctx "vector_entry" Costs.entry_instrs;
   Ctx.store_block t.ctx Layout.stack_base 64;
   if t.current.restart_syscall then begin
@@ -1255,7 +1345,8 @@ let kernel_entry t event =
       if Ctx.irq_pending t.ctx then handle_interrupt_internal t);
   Ctx.exec t.ctx "vector_exit" Costs.exit_instrs;
   Ctx.load_block t.ctx Layout.stack_base 64;
-  Ctx.emit t.ctx (Obs.Trace.Kernel_exit { outcome = outcome_label outcome });
+  if Ctx.tracing t.ctx then
+    Ctx.emit t.ctx (Obs.Trace.Kernel_exit { outcome = outcome_label outcome });
   outcome
 
 (* Re-execute a preempted system call until it completes.  This is what

@@ -24,11 +24,19 @@ type t = {
   mutable root_slots : slot list;
   cap_refs : (int, int) Hashtbl.t;  (** object id -> live capability count *)
   irq_handlers : cap option array;
-  mutable pending_irqs : int list;
-  mutable armed_irqs : (int * int) list;
-      (** (fire cycle, line) device timers not yet expired *)
-  irq_assert : int option array;
-      (** per-line assert cycle of each pending interrupt *)
+  pending_buf : int array;  (** ring of raised, undelivered lines *)
+  mutable pending_head : int;
+  mutable pending_count : int;
+  mutable pending_mask : int;  (** bit per line: membership in the ring *)
+  mutable armed_fire : int array;
+  mutable armed_line : int array;
+      (** (fire cycle, line) device timers not yet expired, first
+          [armed_count] slots live *)
+  mutable armed_count : int;
+  mutable scratch_fire : int array;
+  mutable scratch_line : int array;
+  irq_assert : int array;
+      (** per-line assert cycle of each pending interrupt; negative = none *)
   mutable irq_line_worst : int;
   mutable on_irq_deliver : (int -> int -> unit) option;
   mutable preempted_events : int;
@@ -149,6 +157,12 @@ val next_armed_irq : t -> (int * int) option
 (** The earliest (fire cycle, line) among armed device timers, if any —
     lets a driver know how far to advance an idle system for the next
     interrupt to fire. *)
+
+val has_pending_irq : t -> bool
+(** Is any line raised but not yet delivered?  Allocation-free. *)
+
+val pending_lines : t -> int list
+(** The pending lines in delivery order (diagnostics and tests). *)
 
 val set_irq_delivery_hook : t -> (int -> int -> unit) option -> unit
 (** Install (or clear) an observer called with [(line, latency)] at every

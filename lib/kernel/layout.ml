@@ -90,10 +90,17 @@ let regions : (string * code_region) list =
       (name, { name; base; instrs }))
     declared
 
+(* [code] sits on the simulator's per-entry hot path (every charged
+   instruction block names its region), so the lookup is a hash table
+   rather than a walk of the assoc list. *)
+let by_name : (string, code_region) Hashtbl.t =
+  let tbl = Hashtbl.create 64 in
+  List.iter (fun (name, r) -> Hashtbl.replace tbl name r) regions;
+  tbl
+
 let code name =
-  match List.assoc_opt name regions with
-  | Some r -> r
-  | None -> invalid_arg ("Layout.code: unknown region " ^ name)
+  try Hashtbl.find by_name name
+  with Not_found -> invalid_arg ("Layout.code: unknown region " ^ name)
 
 let all_regions () = List.map snd regions
 

@@ -196,8 +196,10 @@ let choose_thread ctx t =
     | Build.Benno -> choose_benno ctx t
     | Build.Benno_bitmap -> choose_bitmap ctx t
   in
-  Ctx.emit ctx
-    (Obs.Trace.Sched_decision { tcb = chosen.tcb_id; priority = chosen.priority });
+  if Ctx.tracing ctx then
+    Ctx.emit ctx
+      (Obs.Trace.Sched_decision
+         { tcb = chosen.tcb_id; priority = chosen.priority });
   chosen
 
 (* --- introspection for tests and invariants --- *)

@@ -80,8 +80,10 @@ let clear_step ctx (creating : creating) =
           Ctx.exec ctx "clear_memory"
             (Costs.clear_line_instrs * ((bytes + 31) / 32));
           Ctx.store_block ctx (Objects.addr_of obj + done_) bytes;
-          Ctx.emit ctx
-            (Obs.Trace.Untyped_clear { addr = Objects.addr_of obj + done_; bytes });
+          if Ctx.tracing ctx then
+            Ctx.emit ctx
+              (Obs.Trace.Untyped_clear
+                 { addr = Objects.addr_of obj + done_; bytes });
           Objects.set_cleared obj (done_ + bytes);
           if Ctx.preemption_point ctx then Vspace.Preempted else chunk_loop ()
         end

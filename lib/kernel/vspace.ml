@@ -268,7 +268,8 @@ let clear_pte ctx pt j =
   pt.pt_shadow.(j) <- None;
   Ctx.store ctx (pte_addr pt j);
   Ctx.store ctx (pte_shadow_addr pt j);
-  Ctx.emit ctx (Obs.Trace.Vspace_unmap { addr = pte_addr pt j })
+  if Ctx.tracing ctx then
+    Ctx.emit ctx (Obs.Trace.Vspace_unmap { addr = pte_addr pt j })
 
 (* Tear down all mappings of a page table, resuming from the memoised
    lowest mapped index; one preemption point per entry (Section 3.6: "the
@@ -321,7 +322,8 @@ let delete_vspace_shadow ctx pd =
     pd.pd_shadow.(i) <- None;
     Ctx.store ctx (pde_addr pd i);
     Ctx.store ctx (pde_shadow_addr pd i);
-    Ctx.emit ctx (Obs.Trace.Vspace_unmap { addr = pde_addr pd i })
+    if Ctx.tracing ctx then
+      Ctx.emit ctx (Obs.Trace.Vspace_unmap { addr = pde_addr pd i })
   in
   let rec loop i =
     if i >= kernel_pde_first then begin

@@ -82,6 +82,22 @@ let observe h v =
       Hashtbl.replace h.buckets k
         (1 + Option.value ~default:0 (Hashtbl.find_opt h.buckets k)))
 
+(* Record [n] observations of the same value in one locked update — the
+   bulk path for callers that already hold a value -> count histogram
+   (e.g. the soak simulator merging per-shard latency counts). *)
+let observe_n h ~n v =
+  if n > 0 then
+    with_lock (fun () ->
+        h.count <- h.count + n;
+        h.sum <- h.sum +. (v *. float_of_int n);
+        if v < h.min_value then h.min_value <- v;
+        if v > h.max_value then h.max_value <- v;
+        let k = bucket_of v in
+        Hashtbl.replace h.buckets k
+          (n + Option.value ~default:0 (Hashtbl.find_opt h.buckets k)))
+
+let now_s () = Int64.to_float (Monotonic_clock.now ()) *. 1e-9
+
 (* Time a thunk on the monotonic wall clock and observe elapsed seconds.
    Wall time is fine here: metrics describe the analysis engine itself;
    simulated-time measurements go through the tracer instead. *)

@@ -22,6 +22,14 @@ val set_gauge : gauge -> float -> unit
 val histogram : string -> histogram
 val observe : histogram -> float -> unit
 
+val observe_n : histogram -> n:int -> float -> unit
+(** Record [n] observations of the same value in one locked update (the
+    bulk path for callers holding a value -> count histogram).  No-op for
+    [n <= 0]. *)
+
+val now_s : unit -> float
+(** Monotonic wall clock, in seconds (for throughput figures). *)
+
 val span : histogram -> (unit -> 'a) -> 'a
 (** Run the thunk, observing its elapsed monotonic wall time in seconds
     (even if it raises).  Wall time never feeds the tracer — simulated-time

@@ -96,6 +96,17 @@ val margin_percent : run_result -> float
 (** Headroom of the bound over the observed worst case:
     [100 * (bound - max) / bound] (100 when nothing was observed). *)
 
+(** Wall-clock economics of one campaign (not deterministic — never part
+    of the byte-identity contract). *)
+type throughput = {
+  th_wall_s : float;  (** wall time around the shard fan-out *)
+  th_entries_per_sec : float;
+  th_minor_words_per_entry : float;
+      (** minor-heap words allocated per kernel entry, summed over the
+          per-shard domain-local [Gc.minor_words] deltas *)
+  th_peak_rss_kb : int;  (** VmHWM from /proc/self/status; 0 if absent *)
+}
+
 val run_campaign :
   ?pool:Sel4_rt.Parallel.t ->
   ?seed:int ->
@@ -113,8 +124,31 @@ val run_campaign :
     delivery in the response window — and no sampled invariant check
     failed. *)
 
+val run_campaign_timed :
+  ?pool:Sel4_rt.Parallel.t ->
+  ?seed:int ->
+  ?entries:int ->
+  ?smoke:bool ->
+  ?only:string list ->
+  ?inv_every:int ->
+  ?collect:bool ->
+  unit ->
+  report * throughput
+(** [run_campaign] plus throughput measurement.  [inv_every] sets the
+    invariant sampling period in entries (default 512, or 0 = off with
+    [smoke]; invariant checks charge no simulated cycles, so the period
+    never affects report bytes).  [collect] forces the
+    collect-all-then-merge path instead of the streaming ordered fold —
+    same report bytes, unbounded memory; used by differential tests. *)
+
 val pp_report : report Fmt.t
 
 val report_json : report -> string
 (** The report as a JSON object (the ["sim"] section of
     [BENCH_wcet.json]). *)
+
+val pp_throughput : throughput Fmt.t
+
+val campaign_json : report -> throughput -> string
+(** [report_json] with a ["throughput"] object spliced into the top-level
+    object (wall-clock figures, not covered by byte-identity). *)

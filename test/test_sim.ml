@@ -81,6 +81,68 @@ let test_scheduler_differential () =
   check_bool "pinning tightens the bound" true
     (bound_of "benno_bitmap" >= bound_of "benno_bitmap+pin")
 
+(* The determinism contract, pinned to bytes: the seed-42 smoke report
+   committed in sim_smoke_report.golden.json must be reproduced exactly,
+   whatever the domain count, shard-merge strategy or invariant sampling
+   period.  Any optimisation of the kernel-entry hot path that changes
+   cache evolution, cycle accounting or PRNG order fails this test. *)
+(* Declared as a dune dep, so it sits next to the built test binary
+   (which is where [dune runtest] runs; [dune exec] may run elsewhere). *)
+let golden_fixture =
+  let beside_exe =
+    Filename.concat
+      (Filename.dirname Sys.executable_name)
+      "sim_smoke_report.golden.json"
+  in
+  if Sys.file_exists beside_exe then beside_exe
+  else "sim_smoke_report.golden.json"
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let test_golden_smoke_report () =
+  let golden = read_file golden_fixture in
+  let actual = Sim.report_json (Sim.run_campaign ~smoke:true ()) in
+  check_bool "seed-42 smoke report matches the committed golden bytes" true
+    (actual = golden)
+
+(* The streaming ordered fold (constant memory) and the collect-everything
+   merge must agree to the byte, at one domain and at four. *)
+let test_stream_equals_collect () =
+  let report ~domains ~collect =
+    let pool = Sel4_rt.Parallel.create ~domains () in
+    Fun.protect
+      ~finally:(fun () -> Sel4_rt.Parallel.shutdown pool)
+      (fun () ->
+        Sim.report_json
+          (fst
+             (Sim.run_campaign_timed ~pool ~entries:1_200
+                ~only:[ "ipc_pingpong"; "untyped_churn" ]
+                ~collect ())))
+  in
+  let stream1 = report ~domains:1 ~collect:false in
+  let collect1 = report ~domains:1 ~collect:true in
+  check_bool "streamed = collected at 1 domain" true (stream1 = collect1);
+  let stream4 = report ~domains:4 ~collect:false in
+  let collect4 = report ~domains:4 ~collect:true in
+  check_bool "streamed = collected at 4 domains" true (stream4 = collect4);
+  check_bool "1 domain = 4 domains" true (stream1 = stream4)
+
+(* Invariant checks charge no simulated cycles: the sampling period must
+   never leak into the report bytes. *)
+let test_inv_every_invisible () =
+  let json inv_every =
+    Sim.report_json
+      (fst
+         (Sim.run_campaign_timed ~entries:1_200 ~only:[ "ipc_pingpong" ]
+            ~inv_every ()))
+  in
+  check_bool "inv-every 64 = inv-every 512" true (json 64 = json 512);
+  check_bool "inv-every off = inv-every 512" true (json 0 = json 512)
+
 let test_report_json_shape () =
   let r = small () in
   let json = Sim.report_json r in
@@ -114,6 +176,9 @@ let () =
             test_case "same seed identical" `Quick test_same_seed_identical;
             test_case "serial equals parallel" `Slow test_serial_equals_parallel;
             test_case "scheduler differential" `Quick test_scheduler_differential;
+            test_case "golden smoke report" `Slow test_golden_smoke_report;
+            test_case "stream equals collect" `Slow test_stream_equals_collect;
+            test_case "inv-every invisible" `Quick test_inv_every_invisible;
             test_case "report json shape" `Quick test_report_json_shape;
           ] );
     ]
