@@ -56,13 +56,18 @@ let run_inject () =
   Fmt.pr "%a@." Inject.pp_report report
 
 (* The latest soak-campaign report and its wall-clock economics, kept for
-   the --json summary. *)
+   the --json summary, plus the worst-delivery forensics (tail flight
+   recorder, bound decomposition and gap reports). *)
 let sim_report : (Sim.report * Sim.throughput) option ref = ref None
+let sim_forensics : Sim.forensics option ref = ref None
 
 let run_sim () =
-  let report, th = Sim.run_campaign_timed ~smoke:true () in
+  let report, th, forensics = Sim.run_campaign_forensics ~smoke:true () in
   sim_report := Some (report, th);
+  sim_forensics := Some forensics;
   Fmt.pr "%a@." Sim.pp_report report;
+  Fmt.pr "%a@." Obs.Tail_report.pp forensics.Sim.fo_tail;
+  List.iter (fun g -> Fmt.pr "%a@." Obs.Gap_report.pp g) forensics.Sim.fo_gaps;
   Fmt.pr "%a@." Sim.pp_throughput th
 
 (* --- Bechamel microbenchmarks --- *)
@@ -253,7 +258,7 @@ let table2_cell_json (c : Sel4_rt.Experiments.table2_cell) =
 let write_json ~path ~section_times ~engine_wall_s ~serial_fresh_wall_s
     ~(stats : Sel4_rt.Analysis_cache.stats) ~domains ~requested_domains
     ~recommended_domains ~warning ~analysis_rows ~constraint_rows ~table2_rows
-    ~inject_rep ~sim_rep =
+    ~inject_rep ~sim_rep ~sim_forensics =
   let buf = Buffer.create 2048 in
   let addf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   let f v = Printf.sprintf "%.6f" v in
@@ -325,6 +330,24 @@ let write_json ~path ~section_times ~engine_wall_s ~serial_fresh_wall_s
   | None -> ()
   | Some ((r : Sim.report), (th : Sim.throughput)) ->
       addf "  \"sim\": %s,\n" (Sim.campaign_json r th));
+  (match sim_forensics with
+  | None -> ()
+  | Some (f : Sim.forensics) ->
+      (* The worst-delivery flight recorder and the bound/observation gap
+         alignment; the tail entries carry window sizes, not the raw
+         event streams (those go to per-delivery Chrome trace files via
+         `sel4rt sim --forensics-out`). *)
+      addf "  \"forensics\": {\n    \"tail\": %s,\n"
+        (Obs.Tail_report.to_json f.Sim.fo_tail);
+      addf "    \"gaps\": %s,\n" (Obs.Gap_report.to_json f.Sim.fo_gaps);
+      addf "    \"profiles\": {\n";
+      List.iteri
+        (fun i (label, p) ->
+          addf "      \"%s\": %s%s\n" (json_escape label)
+            (Obs.Bound_profile.to_json p)
+            (if i < List.length f.Sim.fo_profiles - 1 then "," else ""))
+        f.Sim.fo_profiles;
+      addf "    }\n  },\n");
   addf "  \"analysis\": [\n";
   List.iteri
     (fun i (r : Sel4_rt.Experiments.analysis_cost_row) ->
@@ -362,6 +385,66 @@ let write_json ~path ~section_times ~engine_wall_s ~serial_fresh_wall_s
     constraint_rows;
   addf "  ]\n}\n";
   let oc = open_out path in
+  output_string oc (Buffer.contents buf);
+  close_out oc
+
+(* --- perf ledger: one JSON line per `bench --json` run --- *)
+
+(* Current commit without shelling out: CI exports GITHUB_SHA; a local
+   checkout is resolved through .git/HEAD. *)
+let current_commit () =
+  match Sys.getenv_opt "GITHUB_SHA" with
+  | Some sha when String.trim sha <> "" -> String.trim sha
+  | _ -> (
+      let read_line_of path =
+        if Sys.file_exists path then (
+          let ic = open_in path in
+          Fun.protect
+            ~finally:(fun () -> close_in ic)
+            (fun () -> try Some (String.trim (input_line ic)) with End_of_file -> None))
+        else None
+      in
+      match read_line_of ".git/HEAD" with
+      | Some head when String.length head > 5 && String.sub head 0 5 = "ref: "
+        -> (
+          let r = String.trim (String.sub head 5 (String.length head - 5)) in
+          match read_line_of (Filename.concat ".git" r) with
+          | Some sha -> sha
+          | None -> "unknown")
+      | Some sha -> sha
+      | None -> "unknown")
+
+(* The ledger is append-only: one record per run with the wall-clock
+   economics and every computed bound, so CI can diff consecutive records
+   and fail on throughput regressions or silent bound drift. *)
+let append_history ~path ~engine_wall_s ~serial_fresh_wall_s ~sim_rep =
+  let buf = Buffer.create 512 in
+  let addf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  addf "{\"commit\": \"%s\"" (json_escape (current_commit ()));
+  addf ", \"engine_wall_s\": %.6f" engine_wall_s;
+  addf ", \"serial_fresh_wall_s\": %.6f" serial_fresh_wall_s;
+  (match sim_rep with
+  | None ->
+      addf ", \"soak_entries_per_sec\": null, \"bounds\": {}"
+  | Some ((r : Sim.report), (th : Sim.throughput)) ->
+      addf ", \"soak_entries_per_sec\": %.1f" th.Sim.th_entries_per_sec;
+      addf ", \"soak_minor_words_per_entry\": %.2f"
+        th.Sim.th_minor_words_per_entry;
+      let bounds =
+        List.fold_left
+          (fun acc rr ->
+            if List.mem_assoc rr.Sim.rr_build acc then acc
+            else acc @ [ (rr.Sim.rr_build, rr.Sim.rr_bound) ])
+          [] r.Sim.rp_runs
+      in
+      addf ", \"bounds\": {";
+      List.iteri
+        (fun i (label, b) ->
+          addf "%s\"%s\": %d" (if i > 0 then ", " else "") (json_escape label) b)
+        bounds;
+      addf "}");
+  addf "}\n";
+  let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
   output_string oc (Buffer.contents buf);
   close_out oc
 
@@ -436,7 +519,9 @@ let () =
     write_json ~path ~section_times ~engine_wall_s ~serial_fresh_wall_s ~stats
       ~domains ~requested_domains ~recommended_domains ~warning ~analysis_rows
       ~constraint_rows ~table2_rows:!table2_rows ~inject_rep:!inject_report
-      ~sim_rep:!sim_report;
+      ~sim_rep:!sim_report ~sim_forensics:!sim_forensics;
+    append_history ~path:"BENCH_history.jsonl" ~engine_wall_s
+      ~serial_fresh_wall_s ~sim_rep:!sim_report;
     Fmt.pr "@.engine: %.3fs  serial fresh: %.3fs  speedup: %.1fx  cache hit \
             rate: %.0f%%  (%s)@."
       engine_wall_s serial_fresh_wall_s

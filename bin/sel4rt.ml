@@ -3,6 +3,8 @@
      sel4rt wcet     --entry syscall --build improved --l2 --pin --path
      sel4rt observe  --entry interrupt --runs 25 --l2
      sel4rt response --build improved --l2
+     sel4rt explain  [kernel_entry|syscall|...] --format folded
+     sel4rt sim      --smoke --forensics --forensics-out DIR
      sel4rt repro [section ...]        (same sections as bench/main.exe)
      sel4rt loops
      sel4rt pins *)
@@ -136,6 +138,102 @@ let response_cmd =
          "Compute the worst-case interrupt response bound (longest kernel \
           path plus the interrupt path).")
     Term.(const run $ build_arg $ l2_arg $ pin_arg)
+
+(* --- explain: block-by-block decomposition of a WCET bound --- *)
+
+let explain_cmd =
+  let run func build l2 pin format out =
+    let config = config_of ~l2 ~pin in
+    let pins = pins_of build ~pin in
+    let ctx = Sel4_rt.Analysis_ctx.make ~config ~pins ~build () in
+    let profile =
+      match func with
+      | "kernel_entry" | "response" ->
+          Sel4_rt.Response_time.interrupt_response_profile ctx
+      | "syscall" ->
+          Sel4_rt.Response_time.profile ctx Sel4_rt.Kernel_model.Syscall
+      | "interrupt" | "irq" ->
+          Sel4_rt.Response_time.profile ctx Sel4_rt.Kernel_model.Interrupt
+      | "fault" | "pagefault" ->
+          Sel4_rt.Response_time.profile ctx Sel4_rt.Kernel_model.Page_fault
+      | "undefined" | "undef" ->
+          Sel4_rt.Response_time.profile ctx
+            Sel4_rt.Kernel_model.Undefined_instruction
+      | s ->
+          Fmt.epr
+            "unknown function %S (kernel_entry, syscall, interrupt, fault, \
+             undefined)@."
+            s;
+          exit 1
+    in
+    if not (Obs.Bound_profile.exact profile) then begin
+      Fmt.epr "internal error: decomposition does not sum to the bound@.";
+      exit 2
+    end;
+    let rendered =
+      match format with
+      | `Text -> Fmt.str "%a" Obs.Bound_profile.pp profile
+      | `Folded -> Obs.Bound_profile.to_folded profile
+      | `Json -> Obs.Bound_profile.to_json profile ^ "\n"
+    in
+    match out with
+    | None -> print_string rendered
+    | Some path ->
+        let oc = open_out path in
+        output_string oc rendered;
+        close_out oc;
+        Fmt.pr "wrote %s (%d rows, bound %d cycles)@." path
+          (List.length profile.Obs.Bound_profile.p_rows)
+          (Obs.Bound_profile.total profile)
+  in
+  let func_arg =
+    Arg.(
+      value & pos 0 string "kernel_entry"
+      & info [] ~docv:"FUNC"
+          ~doc:
+            "What to explain: kernel_entry (the full interrupt-response \
+             bound: syscall path + interrupt path), or a single entry point \
+             — syscall, interrupt, fault, undefined.")
+  in
+  let format_conv =
+    let parse = function
+      | "text" | "table" -> Ok `Text
+      | "folded" | "flamegraph" -> Ok `Folded
+      | "json" -> Ok `Json
+      | s -> Error (`Msg (Fmt.str "unknown format %S (text, folded, json)" s))
+    in
+    let print ppf f =
+      Fmt.string ppf
+        (match f with `Text -> "text" | `Folded -> "folded" | `Json -> "json")
+    in
+    Arg.conv (parse, print)
+  in
+  let format_arg =
+    Arg.(
+      value & opt format_conv `Text
+      & info [ "format"; "f" ] ~docv:"FORMAT"
+          ~doc:
+            "Output format: text (per-block table), folded (flamegraph.pl \
+             folded-stack lines, one frame path per block and cost \
+             component), or json.")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out"; "o" ] ~docv:"FILE" ~doc:"Write the profile to FILE.")
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:
+         "Decompose a WCET bound block by block: the optimal IPET basis \
+          rendered as per-block cycle contributions split into execution, \
+          cache-stall and pipeline components, with the binding \
+          flow/loop/infeasible-path constraints that shaped the optimum.  \
+          The rows sum to the bound exactly.")
+    Term.(
+      const run $ func_arg $ build_arg $ l2_arg $ pin_arg $ format_arg
+      $ out_arg)
 
 let repro_cmd =
   let sections =
@@ -306,9 +404,9 @@ let run_quickstart_traced ~config buf =
   Hw.Cpu.clear_trace_buffer cpu
 
 let trace_cmd =
-  let run scenario build l2 seed format out =
+  let run scenario build l2 seed format capacity out =
     let config = config_of ~l2 ~pin:false in
-    let buf = Obs.Trace.create () in
+    let buf = Obs.Trace.create ?capacity () in
     (match scenario with
     | Quickstart -> run_quickstart_traced ~config buf
     | Entry entry -> (
@@ -321,6 +419,14 @@ let trace_cmd =
             Fmt.epr "scenario failed: %s@." e;
             exit 1
         | (Sel4.Kernel.Completed | Sel4.Kernel.Preempted), _ -> ()));
+    (* Overflow is visible, never silent: the ring keeps the newest events
+       and the count of evicted ones is also surfaced as the
+       [trace.dropped] metrics counter. *)
+    if Obs.Trace.dropped buf > 0 then
+      Fmt.epr
+        "warning: trace ring overflowed — %d oldest events dropped (capacity \
+         %d; raise with --capacity)@."
+        (Obs.Trace.dropped buf) (Obs.Trace.capacity buf);
     let rendered =
       match format with
       | `Chrome ->
@@ -360,6 +466,17 @@ let trace_cmd =
             "Output format: text (human-readable timeline) or chrome \
              (trace_event JSON, loadable in Perfetto / chrome://tracing).")
   in
+  let capacity_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "capacity" ] ~docv:"N"
+          ~doc:
+            "Trace ring capacity in events (default 65536).  When a scenario \
+             emits more, the ring keeps the newest N and a warning with the \
+             dropped count goes to stderr (also counted by the \
+             $(b,trace.dropped) metric).")
+  in
   let out_arg =
     Arg.(
       value
@@ -373,10 +490,10 @@ let trace_cmd =
           export the event timeline.")
     Term.(
       const run $ scenario_arg $ build_arg $ l2_arg $ seed_arg $ format_arg
-      $ out_arg)
+      $ capacity_arg $ out_arg)
 
 let metrics_cmd =
-  let run l2 runs =
+  let run l2 runs json =
     let config = config_of ~l2 ~pin:false in
     (* Exercise the full pipeline once per entry point — IPET stage spans,
        analysis-cache counters, pool stats — plus one observed workload for
@@ -387,20 +504,31 @@ let metrics_cmd =
       Sel4_rt.Kernel_model.entry_points;
     ignore
       (Sel4_rt.Response_time.observed ~runs ctx Sel4_rt.Kernel_model.Interrupt);
-    print_string (Obs.Metrics.to_json (Obs.Metrics.snapshot ()));
-    print_newline ()
+    let snap = Obs.Metrics.snapshot () in
+    if json then begin
+      print_string (Obs.Metrics.to_json snap);
+      print_newline ()
+    end
+    else Fmt.pr "%a@." (fun ppf -> Obs.Metrics.pp ppf) snap
   in
   let runs_arg =
     Arg.(
       value & opt int 5
       & info [ "runs" ] ~docv:"N" ~doc:"Observed-workload repetitions.")
   in
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Dump the registry as JSON instead of the readable table.")
+  in
   Cmd.v
     (Cmd.info "metrics"
        ~doc:
          "Run the analysis pipeline and dump the metrics registry (counters, \
-          gauges, stage-span histograms) as JSON.")
-    Term.(const run $ l2_arg $ runs_arg)
+          gauges, stage-span histograms) — a readable table by default, JSON \
+          with $(b,--json).")
+    Term.(const run $ l2_arg $ runs_arg $ json_arg)
 
 let inject_cmd =
   let run smoke seed l2 =
@@ -435,10 +563,44 @@ let inject_cmd =
     Term.(const run $ smoke_arg $ seed_arg $ l2_arg)
 
 let sim_cmd =
-  let run smoke seed entries only inv_every collect =
+  let run smoke seed entries only inv_every collect forensics forensics_out =
     let only = match only with [] -> None | l -> Some l in
     let report, th =
-      Sim.run_campaign_timed ~smoke ~seed ?entries ?only ?inv_every ~collect ()
+      if not (forensics || forensics_out <> None) then
+        Sim.run_campaign_timed ~smoke ~seed ?entries ?only ?inv_every ~collect
+          ()
+      else begin
+        let report, th, f =
+          Sim.run_campaign_forensics ~smoke ~seed ?entries ?only ?inv_every ()
+        in
+        (* Forensic output goes to stderr / files: stdout stays the
+           byte-identical campaign report. *)
+        Fmt.epr "%a@." Obs.Tail_report.pp f.Sim.fo_tail;
+        List.iter (fun g -> Fmt.epr "%a@." Obs.Gap_report.pp g) f.Sim.fo_gaps;
+        Option.iter
+          (fun dir ->
+            if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+            let write name contents =
+              let path = Filename.concat dir name in
+              let oc = open_out path in
+              output_string oc contents;
+              close_out oc;
+              Fmt.epr "wrote %s@." path
+            in
+            write "sim_tail.json" (Obs.Tail_report.to_json f.Sim.fo_tail);
+            write "sim_gap.json" (Obs.Gap_report.to_json f.Sim.fo_gaps);
+            List.iter
+              (fun (label, p) ->
+                write
+                  ("bound_profile_" ^ label ^ ".folded")
+                  (Obs.Bound_profile.to_folded p))
+              f.Sim.fo_profiles;
+            List.iter
+              (fun (stem, json) -> write (stem ^ ".trace.json") json)
+              (Obs.Tail_report.chrome_traces f.Sim.fo_tail))
+          forensics_out;
+        (report, th)
+      end
     in
     Fmt.pr "%a@." Sim.pp_report report;
     (* Wall-clock economics go to stderr: stdout is covered by the
@@ -490,6 +652,27 @@ let sim_cmd =
              constant-memory streaming fold (same report bytes; for \
              differential testing).")
   in
+  let forensics_arg =
+    Arg.(
+      value & flag
+      & info [ "forensics" ]
+          ~doc:
+            "Flight-record the worst deliveries: after the campaign, replay \
+             the implicated shards with the tracer attached and print the \
+             tail report (worst windows attributed to kernel sections) and \
+             the gap report (bound decomposition vs. observed worst case) to \
+             stderr.  The stdout report stays byte-identical.")
+  in
+  let forensics_out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "forensics-out" ] ~docv:"DIR"
+          ~doc:
+            "With $(b,--forensics): also write sim_tail.json, sim_gap.json, \
+             per-build folded bound profiles and one Chrome trace per \
+             captured worst delivery into DIR (implies $(b,--forensics)).")
+  in
   Cmd.v
     (Cmd.info "sim"
        ~doc:
@@ -502,7 +685,7 @@ let sim_cmd =
           invariant check fails.")
     Term.(
       const run $ smoke_arg $ seed_arg $ entries_arg $ only_arg $ inv_every_arg
-      $ collect_arg)
+      $ collect_arg $ forensics_arg $ forensics_out_arg)
 
 let pins_cmd =
   let run build =
@@ -531,6 +714,7 @@ let () =
             wcet_cmd;
             observe_cmd;
             response_cmd;
+            explain_cmd;
             repro_cmd;
             constraints_cmd;
             loops_cmd;

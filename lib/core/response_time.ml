@@ -42,6 +42,20 @@ let interrupt_response_bound ctx =
   computed_cycles ctx Kernel_model.Syscall
   + computed_cycles ctx Kernel_model.Interrupt
 
+(* Bound decomposition: the optimal IPET basis of an entry point rendered
+   as per-block cycle contributions (Obs.Bound_profile).  Routed through
+   the same cache as [computed], so explaining a bound never re-solves. *)
+let profile ctx entry =
+  Wcet.Explain.profile ~config:ctx.Analysis_ctx.config
+    ~entry:(Kernel_model.entry_main entry)
+    (computed ctx entry)
+
+(* The full response-time decomposition: syscall path followed by the
+   interrupt path; total = interrupt_response_bound by construction. *)
+let interrupt_response_profile ctx =
+  Obs.Bound_profile.concat ~entry:"kernel_entry"
+    [ profile ctx Kernel_model.Syscall; profile ctx Kernel_model.Interrupt ]
+
 let us config cycles = Hw.Config.cycles_to_us config cycles
 
 (* --- deprecated label-style wrappers --- *)

@@ -33,6 +33,16 @@ val observed_traced :
 
 val interrupt_response_bound : Analysis_ctx.t -> int
 
+val profile : Analysis_ctx.t -> Kernel_model.entry_point -> Obs.Bound_profile.t
+(** Block-by-block decomposition of the entry point's computed bound
+    (the optimal IPET basis); its {!Obs.Bound_profile.total} equals
+    {!computed_cycles} exactly.  Cached like {!computed}. *)
+
+val interrupt_response_profile : Analysis_ctx.t -> Obs.Bound_profile.t
+(** Decomposition of the full response bound: the syscall-path profile
+    followed by the interrupt-path profile; total equals
+    {!interrupt_response_bound}. *)
+
 val us : Hw.Config.t -> int -> float
 
 (** {1 Deprecated wrappers} *)

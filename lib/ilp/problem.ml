@@ -96,6 +96,15 @@ let solve_relaxation ?extra t = Simplex.solve (to_lp ?extra t)
 let vars t = List.init t.count Fun.id
 let solution_value (s : Simplex.solution) v = s.values.(v)
 
+let eval_terms terms point =
+  List.fold_left (fun acc (c, v) -> acc + (c * point.(v))) 0 terms
+
+let slack { terms; relation; bound; _ } point =
+  let lhs = eval_terms terms point in
+  match relation with Le -> bound - lhs | Ge -> lhs - bound | Eq -> 0
+
+let binding cstr point = slack cstr point = 0
+
 let pp ppf t =
   let pp_term ppf (c, v) =
     if c = 1 then Fmt.string ppf (name t v)

@@ -51,4 +51,17 @@ val vars : t -> var list
 
 val solution_value : Simplex.solution -> var -> Rat.t
 
+val eval_terms : (int * var) list -> int array -> int
+(** Value of a linear form at an integer point (indexed by variable). *)
+
+val slack : cstr -> int array -> int
+(** Distance from the constraint boundary at an integer point: [bound - lhs]
+    for [Le], [lhs - bound] for [Ge], and [0] for [Eq] (always tight).
+    Non-negative iff the point satisfies the constraint. *)
+
+val binding : cstr -> int array -> bool
+(** A constraint is binding (tight) at a point when its slack is zero —
+    i.e. it is part of the optimal basis that actually limits the
+    objective.  [Eq] rows are tight by construction. *)
+
 val pp : t Fmt.t

@@ -765,8 +765,15 @@ let promote_armed t =
       done;
       for i = 0 to !expired - 1 do
         let line = t.scratch_line.(i) in
-        if not (irq_is_pending t line) then
-          pending_push t line ~asserted:t.scratch_fire.(i)
+        if not (irq_is_pending t line) then begin
+          pending_push t line ~asserted:t.scratch_fire.(i);
+          (* Flight-recorder visibility: a timer-armed line becoming
+             pending is an assertion; without this the replayed worst-
+             delivery windows would show armed->deliver with no assert
+             edge.  Emission charges no cycles. *)
+          if Ctx.tracing t.ctx then
+            Ctx.emit t.ctx (Obs.Trace.Irq_assert { line })
+        end
       done
     end
   end

@@ -134,6 +134,43 @@ let longest_nonpreemptible events =
     events;
   !best
 
+(* Cycles per kernel section inside a window: segments between consecutive
+   events are attributed to the kernel event in progress (or "user"),
+   clipped to [from, until].  Sections keep first-appearance order among
+   equals and sort by cycles, largest first. *)
+let section_profile events ~from ~until =
+  let tbl = Hashtbl.create 8 in
+  let order = ref [] in
+  let charge section cycles =
+    if cycles > 0 then
+      match Hashtbl.find_opt tbl section with
+      | None ->
+          order := section :: !order;
+          Hashtbl.add tbl section cycles
+      | Some c -> Hashtbl.replace tbl section (c + cycles)
+  in
+  let section = ref (match section_at events from with
+    | Some s -> s
+    | None -> "user")
+  in
+  let last = ref from in
+  List.iter
+    (fun (e : Trace.event) ->
+      if e.Trace.at > from && e.Trace.at <= until then begin
+        charge !section (e.Trace.at - !last);
+        last := e.Trace.at
+      end;
+      if e.Trace.at <= until then
+        match e.Trace.kind with
+        | Trace.Kernel_enter { event } -> if e.Trace.at >= from then section := event
+        | Trace.Kernel_exit _ -> if e.Trace.at >= from then section := "user"
+        | _ -> ())
+    events;
+  charge !section (until - !last);
+  List.rev !order
+  |> List.map (fun s -> (s, Hashtbl.find tbl s))
+  |> List.stable_sort (fun (_, a) (_, b) -> compare b a)
+
 let pp_irq_breakdown ppf b =
   Fmt.pf ppf
     "irq%d: asserted @%d in %s, delivered @%d (latency %d = %d stall + %d \

@@ -26,6 +26,13 @@ type section = {
   sec_stall : int;
 }
 
+val section_profile :
+  Trace.event list -> from:int -> until:int -> (string * int) list
+(** Cycles per kernel section (event label, or ["user"]) inside the
+    window [\[from, until\]], largest first; segments between consecutive
+    events are attributed to the section in progress and clipped to the
+    window.  Sums to [until - from]. *)
+
 val longest_nonpreemptible : Trace.event list -> section option
 (** The longest stretch between consecutive preemption opportunities
     (kernel entry, polled preemption points, kernel exit), labelled with

@@ -24,7 +24,15 @@ type histogram = {
   mutable min_value : float;
   mutable max_value : float;
   buckets : (int, int) Hashtbl.t;  (* exponent -> observations *)
+  mutable exact : (float, int) Hashtbl.t option;
+      (* value -> observations, kept while the histogram has at most
+         [exact_limit] distinct values; [None] once it overflowed *)
 }
+
+(* Small-count exactness: up to this many distinct observed values, the
+   exact multiset is retained and percentiles are exact rather than
+   bucket-conservative. *)
+let exact_limit = 64
 
 let lock = Mutex.create ()
 let counters : (string, counter) Hashtbl.t = Hashtbl.create 32
@@ -63,6 +71,7 @@ let histogram name =
         min_value = infinity;
         max_value = neg_infinity;
         buckets = Hashtbl.create 8;
+        exact = Some (Hashtbl.create 8);
       })
 
 let bucket_of v =
@@ -72,12 +81,23 @@ let bucket_of v =
     (* Guard the rounding edge: ensure v <= 2^k. *)
     if 2.0 ** float_of_int k < v then k + 1 else k
 
+let record_exact h ~n v =
+  match h.exact with
+  | None -> ()
+  | Some tbl -> (
+      match Hashtbl.find_opt tbl v with
+      | Some c -> Hashtbl.replace tbl v (c + n)
+      | None ->
+          if Hashtbl.length tbl < exact_limit then Hashtbl.add tbl v n
+          else h.exact <- None)
+
 let observe h v =
   with_lock (fun () ->
       h.count <- h.count + 1;
       h.sum <- h.sum +. v;
       if v < h.min_value then h.min_value <- v;
       if v > h.max_value then h.max_value <- v;
+      record_exact h ~n:1 v;
       let k = bucket_of v in
       Hashtbl.replace h.buckets k
         (1 + Option.value ~default:0 (Hashtbl.find_opt h.buckets k)))
@@ -92,6 +112,7 @@ let observe_n h ~n v =
         h.sum <- h.sum +. (v *. float_of_int n);
         if v < h.min_value then h.min_value <- v;
         if v > h.max_value then h.max_value <- v;
+        record_exact h ~n v;
         let k = bucket_of v in
         Hashtbl.replace h.buckets k
           (n + Option.value ~default:0 (Hashtbl.find_opt h.buckets k)))
@@ -116,29 +137,42 @@ type hist_snapshot = {
   hs_min : float;
   hs_max : float;
   hs_buckets : (int * int) list;  (* (exponent, count), ascending *)
+  hs_exact : (float * int) list option;
+      (* (value, count) ascending by value while <= exact_limit distinct
+         values were observed; [None] once the exact table overflowed *)
 }
 
-(* Percentile extraction from the log2 buckets.  The estimate for rank r
-   is the upper bound 2^k of the first bucket whose cumulative count
-   reaches r — a conservative (never under-reported) latency figure —
-   clamped into [hs_min, hs_max], which are tracked exactly.  In
-   particular any percentile that lands in the top occupied bucket
-   reports the exact maximum. *)
+(* Percentile extraction.  With at most [exact_limit] distinct observed
+   values the exact multiset survives in [hs_exact] and the percentile is
+   the exact order statistic at rank ceil (q * count).  Beyond that, the
+   estimate for rank r is the upper bound 2^k of the first log2 bucket
+   whose cumulative count reaches r — a conservative (never
+   under-reported) latency figure — clamped into [hs_min, hs_max], which
+   are tracked exactly.  In particular any percentile that lands in the
+   top occupied bucket reports the exact maximum. *)
 let percentile h q =
   if h.hs_count = 0 then 0.0
   else
     let q = Float.max 0.0 (Float.min 1.0 q) in
     let rank = max 1 (int_of_float (Float.ceil (q *. float_of_int h.hs_count))) in
-    let rec walk cum = function
-      | [] -> h.hs_max
-      | (k, n) :: rest ->
-          let cum = cum + n in
-          if cum >= rank then
-            let upper = if k = min_int then 0.0 else 2.0 ** float_of_int k in
-            Float.max h.hs_min (Float.min upper h.hs_max)
-          else walk cum rest
-    in
-    walk 0 h.hs_buckets
+    match h.hs_exact with
+    | Some ((_ :: _) as values) ->
+        let rec exact cum = function
+          | [] -> h.hs_max
+          | (v, n) :: rest -> if cum + n >= rank then v else exact (cum + n) rest
+        in
+        exact 0 values
+    | Some [] | None ->
+        let rec walk cum = function
+          | [] -> h.hs_max
+          | (k, n) :: rest ->
+              let cum = cum + n in
+              if cum >= rank then
+                let upper = if k = min_int then 0.0 else 2.0 ** float_of_int k in
+                Float.max h.hs_min (Float.min upper h.hs_max)
+              else walk cum rest
+        in
+        walk 0 h.hs_buckets
 
 type snapshot = {
   s_counters : (string * int) list;
@@ -165,6 +199,12 @@ let snapshot () =
                   hs_buckets =
                     List.sort compare
                       (Hashtbl.fold (fun k n acc -> (k, n) :: acc) h.buckets []);
+                  hs_exact =
+                    Option.map
+                      (fun tbl ->
+                        List.sort compare
+                          (Hashtbl.fold (fun v n acc -> (v, n) :: acc) tbl []))
+                      h.exact;
                 } )
               :: acc)
             histograms;
@@ -180,7 +220,8 @@ let reset () =
           h.sum <- 0.0;
           h.min_value <- infinity;
           h.max_value <- neg_infinity;
-          Hashtbl.reset h.buckets)
+          Hashtbl.reset h.buckets;
+          h.exact <- Some (Hashtbl.create 8))
         histograms)
 
 let json_escape s =

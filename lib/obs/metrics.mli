@@ -41,14 +41,20 @@ type hist_snapshot = {
   hs_min : float;  (** exact minimum observation (0 when empty) *)
   hs_max : float;  (** exact maximum observation (0 when empty) *)
   hs_buckets : (int * int) list;  (** (bucket exponent, count), ascending *)
+  hs_exact : (float * int) list option;
+      (** exact (value, count) multiset, ascending by value, retained
+          while the histogram has seen at most 64 distinct values;
+          [None] once it overflowed that limit *)
 }
 
 val percentile : hist_snapshot -> float -> float
-(** [percentile h q] for [q] in [[0, 1]]: a conservative estimate of the
-    [q]-quantile from the log2 buckets — the upper bound [2^k] of the
-    bucket containing rank [ceil (q * count)], clamped into
-    [[hs_min, hs_max]].  Never under-reports; a quantile landing in the
-    top occupied bucket returns the exact maximum.  [0] when empty. *)
+(** [percentile h q] for [q] in [[0, 1]]: the exact order statistic at
+    rank [ceil (q * count)] while the histogram has at most 64 distinct
+    observed values (small-count exactness); beyond that, a conservative
+    estimate from the log2 buckets — the upper bound [2^k] of the bucket
+    containing the rank, clamped into [[hs_min, hs_max]].  Never
+    under-reports; a quantile landing in the top occupied bucket returns
+    the exact maximum.  [0] when empty. *)
 
 type snapshot = {
   s_counters : (string * int) list;  (** sorted by name *)

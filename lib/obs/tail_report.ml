@@ -1,0 +1,91 @@
+(* Worst-delivery forensics: bounded flight-recorder captures of the
+   worst-N interrupt deliveries per soak run, with per-section cycle
+   attribution.  Pure data + rendering; lib/sim populates it by
+   deterministic replay of the implicated shards. *)
+
+type delivery = {
+  d_scenario : string;
+  d_build : string;
+  d_rank : int;
+  d_line : int;
+  d_latency : int;
+  d_bound : int;
+  d_shard : int;
+  d_entry : int;
+  d_asserted_at : int;
+  d_delivered_at : int;
+  d_section : string;
+  d_sections : (string * int) list;
+  d_window : Trace.event list;
+}
+
+type t = { t_worst_n : int; t_deliveries : delivery list }
+
+let stem d =
+  Printf.sprintf "%s_%s_rank%d" d.d_scenario
+    (String.map (function '+' -> 'p' | c -> c) d.d_build)
+    d.d_rank
+
+let chrome_traces ?cycles_per_us t =
+  List.map
+    (fun d -> (stem d, Trace.to_chrome_json ?cycles_per_us (Trace.of_events d.d_window)))
+    t.t_deliveries
+
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let to_json t =
+  let buf = Buffer.create 4096 in
+  let addf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  addf "{\n  \"worst_n\": %d,\n  \"deliveries\": [\n" t.t_worst_n;
+  let n = List.length t.t_deliveries in
+  List.iteri
+    (fun i d ->
+      addf
+        "    {\"scenario\": \"%s\", \"build\": \"%s\", \"rank\": %d, \
+         \"line\": %d, \"latency\": %d, \"bound\": %d, \"shard\": %d, \
+         \"entry\": %d, \"asserted_at\": %d, \"delivered_at\": %d, \
+         \"section\": \"%s\",\n"
+        (json_escape d.d_scenario) (json_escape d.d_build) d.d_rank d.d_line
+        d.d_latency d.d_bound d.d_shard d.d_entry d.d_asserted_at
+        d.d_delivered_at (json_escape d.d_section);
+      addf "     \"sections\": {";
+      List.iteri
+        (fun j (s, c) ->
+          addf "%s\"%s\": %d" (if j > 0 then ", " else "") (json_escape s) c)
+        d.d_sections;
+      addf "},\n     \"window_events\": %d}%s\n" (List.length d.d_window)
+        (if i < n - 1 then "," else ""))
+    t.t_deliveries;
+  addf "  ]\n}\n";
+  Buffer.contents buf
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>worst-delivery flight recorder (worst %d per run):@,"
+    t.t_worst_n;
+  List.iter
+    (fun d ->
+      Fmt.pf ppf
+        "@,%s/%s #%d: irq%d latency %d (bound %d, %.1f%%) — asserted in %s \
+         [shard %d entry %d]@,"
+        d.d_scenario d.d_build d.d_rank d.d_line d.d_latency d.d_bound
+        (100.0 *. float_of_int d.d_latency /. float_of_int (max 1 d.d_bound))
+        d.d_section d.d_shard d.d_entry;
+      Fmt.pf ppf "  window [%d, %d] (%d events):" d.d_asserted_at
+        d.d_delivered_at
+        (List.length d.d_window);
+      List.iter
+        (fun (s, c) -> Fmt.pf ppf "@,    %-18s %6d cycles" s c)
+        d.d_sections)
+    t.t_deliveries;
+  Fmt.pf ppf "@]"

@@ -43,7 +43,14 @@ let create ?(capacity = default_capacity) () =
   if capacity <= 0 then invalid_arg "Trace.create: capacity must be positive";
   { ring = Array.make capacity dummy; capacity; total = 0 }
 
+(* Ring overflows are surfaced in the metrics registry so a capture that
+   silently wrapped is visible in every metrics dump (and warnable in the
+   CLI).  Lazy: trace rings are created in hot paths that must not touch
+   the registry lock. *)
+let dropped_counter = lazy (Metrics.counter "trace.dropped")
+
 let emit t ~at ~stall kind =
+  if t.total >= t.capacity then Metrics.incr (Lazy.force dropped_counter);
   t.ring.(t.total mod t.capacity) <- { at; stall; kind };
   t.total <- t.total + 1
 
@@ -58,6 +65,13 @@ let events t =
   let n = length t in
   let first = if t.total > t.capacity then t.total mod t.capacity else 0 in
   List.init n (fun i -> t.ring.((first + i) mod t.capacity))
+
+(* A ring sized to hold exactly the given events; lets an extracted
+   window (e.g. a flight-recorder capture) reuse the renderers below. *)
+let of_events evs =
+  let t = create ~capacity:(max 1 (List.length evs)) () in
+  List.iter (fun e -> emit t ~at:e.at ~stall:e.stall e.kind) evs;
+  t
 
 (* --- rendering --- *)
 

@@ -48,6 +48,11 @@ val clear : t -> unit
 val events : t -> event list
 (** Surviving events, oldest first. *)
 
+val of_events : event list -> t
+(** A ring sized to exactly the given events, in order — lets an
+    extracted window (e.g. a flight-recorder capture) reuse
+    {!pp_timeline} and {!to_chrome_json}. *)
+
 val kind_name : kind -> string
 val pp_kind : kind Fmt.t
 val pp_event : event Fmt.t

@@ -269,6 +269,11 @@ type shard_out = {
   so_violations : violation list;  (* chronological *)
   so_inv : string list;
   so_minor_words : float;  (* minor-heap words allocated by this shard *)
+  so_worst : (int * int * int * int) list;
+      (* forensics only ([worst_n] > 0): the shard's worst deliveries as
+         (latency, line, delivered cycle, 0-based entry index), latency
+         descending, ties kept in observation order.  [report_json] never
+         reads this, so it cannot perturb report bytes. *)
 }
 
 (* Tenant priorities: spread over [30, 79], deterministic in the index,
@@ -280,10 +285,14 @@ let frames_per_vspace_tenant = 4
 
 exception Setup_failure of string
 
-let run_shard ~build ~config ~selection ~scenario ~entries ~bound ~irq_wcet
-    ~inv_every ~(rng : Prng.t) () =
+let run_shard ?(worst_n = 0) ?trace ~build ~config ~selection ~scenario ~entries
+    ~bound ~irq_wcet ~inv_every ~(rng : Prng.t) () =
   let minor0 = Gc.minor_words () in
   let cpu = Hw.Cpu.create config in
+  (* Flight-recorder replay: attach the caller's ring before any kernel
+     activity.  Trace emission charges no simulated cycles, so the shard's
+     behaviour is identical with or without it. *)
+  Option.iter (Hw.Cpu.set_trace_buffer cpu) trace;
   (match selection with
   | Some sel -> Pinning.install sel (Hw.Cpu.machine cpu)
   | None -> ());
@@ -600,6 +609,25 @@ let run_shard ~build ~config ~selection ~scenario ~entries ~bound ~irq_wcet
      list it replaces. *)
   let recent = Array.make 64 min_int in
   let recent_pos = ref 0 in
+  (* Worst-K tracking (forensics pass 1): a small sorted-descending array
+     of (latency, line, delivered cycle, entry index).  Pure observation —
+     no PRNG draws, no cycle charges — so enabling it cannot change the
+     report.  Strict-greater insertion keeps the first-observed delivery
+     ahead of later equals. *)
+  let worst = Array.make (max worst_n 1) (min_int, 0, 0, 0) in
+  let worst_len = ref 0 in
+  let note_worst latency line cyc entry =
+    let full = !worst_len = worst_n in
+    if (not full) || latency > (let l, _, _, _ = worst.(worst_n - 1) in l) then begin
+      let pos = ref (if full then worst_n - 1 else !worst_len) in
+      if not full then incr worst_len;
+      while !pos > 0 && (let l, _, _, _ = worst.(!pos - 1) in latency > l) do
+        worst.(!pos) <- worst.(!pos - 1);
+        decr pos
+      done;
+      worst.(!pos) <- (latency, line, cyc, entry)
+    end
+  in
   let hist : (int, int) Hashtbl.t = Hashtbl.create 64 in
   let deliveries = ref 0 in
   let queued_deliveries = ref 0 in
@@ -644,6 +672,7 @@ let run_shard ~build ~config ~selection ~scenario ~entries ~bound ~irq_wcet
         recent.(!recent_pos) <- cyc;
         recent_pos := (!recent_pos + 1) land 63;
         incr deliveries;
+        if worst_n > 0 then note_worst latency line cyc (!entries_done - 1);
         let allowed = bound + (queued * irq_wcet) in
         if latency > allowed then
           violations :=
@@ -694,6 +723,7 @@ let run_shard ~build ~config ~selection ~scenario ~entries ~bound ~irq_wcet
     so_violations = List.rev !violations;
     so_inv = !inv;
     so_minor_words = Gc.minor_words () -. minor0;
+    so_worst = List.init !worst_len (fun i -> worst.(i));
   }
 
 (* --- campaign --- *)
@@ -819,8 +849,12 @@ let peak_rss_kb () =
       close_in ic;
       r
 
-let run_campaign_timed ?pool ?(seed = 42) ?entries ?(smoke = false) ?only
-    ?inv_every ?(collect = false) () =
+(* The campaign driver proper.  [worst_n > 0] additionally tracks, per
+   run, the worst-N deliveries as (latency, line, delivered cycle, entry
+   index, shard index) — the forensics pass-1 output that tells the
+   flight recorder which shards to replay. *)
+let campaign_internal ?pool ?(seed = 42) ?entries ?(smoke = false) ?only
+    ?inv_every ?(collect = false) ~worst_n () =
   let pool = match pool with Some p -> p | None -> Parallel.default () in
   let entries =
     match entries with Some e -> e | None -> if smoke then 1_500 else 52_000
@@ -885,7 +919,8 @@ let run_campaign_timed ?pool ?(seed = 42) ?entries ?(smoke = false) ?only
           (fun shard_i n ->
             fun () ->
               ( spec.rs_index,
-                run_shard ~build:spec.rs_build ~config:spec.rs_config
+                shard_i,
+                run_shard ~worst_n ~build:spec.rs_build ~config:spec.rs_config
                   ~selection:spec.rs_selection ~scenario:spec.rs_scenario
                   ~entries:n ~bound:spec.rs_bound ~irq_wcet:spec.rs_irq_wcet
                   ~inv_every
@@ -894,9 +929,29 @@ let run_campaign_timed ?pool ?(seed = 42) ?entries ?(smoke = false) ?only
       specs
   in
   let accs = Array.init nspecs (fun _ -> fresh_acc ()) in
+  (* Per-run worst-N across shards: stable descending merge, so equal
+     latencies resolve to the earlier shard (submission order). *)
+  let run_worsts = Array.make nspecs [] in
   let total_minor = ref 0.0 in
-  let merge () (i, out) =
+  let merge () (i, shard_i, out) =
     merge_shard accs.(i) out;
+    if worst_n > 0 && out.so_worst <> [] then begin
+      let added =
+        List.map (fun (lat, line, cyc, entry) -> (lat, line, cyc, entry, shard_i))
+          out.so_worst
+      in
+      let merged =
+        List.stable_sort
+          (fun (a, _, _, _, _) (b, _, _, _, _) -> compare b a)
+          (run_worsts.(i) @ added)
+      in
+      let rec take n = function
+        | [] -> []
+        | _ when n = 0 -> []
+        | x :: tl -> x :: take (n - 1) tl
+      in
+      run_worsts.(i) <- take worst_n merged
+    end;
     total_minor := !total_minor +. out.so_minor_words
   in
   let t0 = Obs.Metrics.now_s () in
@@ -957,10 +1012,176 @@ let run_campaign_timed ?pool ?(seed = 42) ?entries ?(smoke = false) ?only
       rp_runs = runs;
       rp_ok = ok;
     },
-    throughput )
+    throughput,
+    specs,
+    run_worsts )
+
+let run_campaign_timed ?pool ?seed ?entries ?smoke ?only ?inv_every ?collect ()
+    =
+  let report, throughput, _, _ =
+    campaign_internal ?pool ?seed ?entries ?smoke ?only ?inv_every ?collect
+      ~worst_n:0 ()
+  in
+  (report, throughput)
 
 let run_campaign ?pool ?seed ?entries ?smoke ?only () =
   fst (run_campaign_timed ?pool ?seed ?entries ?smoke ?only ())
+
+(* --- forensics: tail flight recorder + gap report --- *)
+
+(* Kernel sections (trace event labels) -> source functions of the WCET
+   model they can execute.  This is the alignment key between the bound
+   decomposition (charged per CFG function) and an observed trace window
+   (attributed per kernel section): a function counts as "executed by the
+   worst window" when some section of the window implies it.  The mapping
+   is deliberately generous — IPC entries are credited with the copy/
+   transfer helpers even if the decode took an early exit — so
+   "NOT executed" claims in the gap report are conservative. *)
+let funcs_of_section s =
+  if s = "user" then []
+  else if s = "interrupt" then [ "interrupt"; "choose"; "ctxswitch" ]
+  else if s = "call" || s = "send" || s = "recv" || s = "reply_recv" then
+    [ "syscall"; "lookup"; "msgcopy"; "capxfer"; "choose"; "ctxswitch" ]
+  else
+    (* signal / wait / poll / yield / invoke:* and the fault paths all
+       run decode + scheduling but never the IPC transfer helpers. *)
+    [ "syscall"; "lookup"; "choose"; "ctxswitch" ]
+
+type forensics = {
+  fo_tail : Obs.Tail_report.t;
+  fo_gaps : Obs.Gap_report.t list;
+  fo_profiles : (string * Obs.Bound_profile.t) list;
+      (* build label -> full response-bound decomposition, one per
+         distinct build variant of the campaign *)
+}
+
+let actx_of_spec spec =
+  let pins =
+    match spec.rs_selection with
+    | None -> Analysis_ctx.no_pins
+    | Some sel ->
+        { Analysis_ctx.code = sel.Pinning.code_lines; data = sel.Pinning.data_lines }
+  in
+  Analysis_ctx.make ~config:spec.rs_config ~pins ~build:spec.rs_build ()
+
+(* Replay pass: re-run exactly the shards implicated by pass 1 with a
+   trace ring attached, stopping right after the entry that delivered the
+   worst interrupt.  Shard streams derive from (seed, run index, shard
+   index) alone, so the replayed prefix is identical to the original run
+   and the ring ends just past the delivery of interest. *)
+let capture_delivery ~root ~spec ~rank (latency, line, cyc, entry_idx, shard_i) =
+  let run_rng = Prng.split_at root spec.rs_index in
+  let trace = Obs.Trace.create ~capacity:32_768 () in
+  let (_ : shard_out) =
+    run_shard ~trace ~build:spec.rs_build ~config:spec.rs_config
+      ~selection:spec.rs_selection ~scenario:spec.rs_scenario
+      ~entries:(entry_idx + 1) ~bound:spec.rs_bound ~irq_wcet:spec.rs_irq_wcet
+      ~inv_every:0
+      ~rng:(Prng.split_at run_rng shard_i) ()
+  in
+  let delivered_at = cyc in
+  let asserted_at = delivered_at - latency in
+  (* Pad the window back one full bound so the kernel operation the
+     assertion landed in is visible from its entry. *)
+  let from = max 0 (asserted_at - spec.rs_bound) in
+  let window =
+    List.filter
+      (fun (e : Obs.Trace.event) ->
+        e.Obs.Trace.at >= from && e.Obs.Trace.at <= delivered_at)
+      (Obs.Trace.events trace)
+  in
+  let section =
+    match
+      List.find_opt
+        (fun (b : Obs.Attrib.irq_breakdown) ->
+          b.Obs.Attrib.line = line && b.Obs.Attrib.delivered_at = delivered_at)
+        (Obs.Attrib.irq_breakdowns window)
+    with
+    | Some b -> b.Obs.Attrib.section
+    | None -> "user"
+  in
+  {
+    Obs.Tail_report.d_scenario = spec.rs_scenario.sc_name;
+    d_build = spec.rs_label;
+    d_rank = rank;
+    d_line = line;
+    d_latency = latency;
+    d_bound = spec.rs_bound;
+    d_shard = shard_i;
+    d_entry = entry_idx;
+    d_asserted_at = asserted_at;
+    d_delivered_at = delivered_at;
+    d_section = section;
+    d_sections =
+      Obs.Attrib.section_profile window ~from:asserted_at ~until:delivered_at;
+    d_window = window;
+  }
+
+let run_campaign_forensics ?pool ?(seed = 42) ?entries ?smoke ?only ?inv_every
+    ?(worst_n = 2) () =
+  let report, throughput, specs, run_worsts =
+    campaign_internal ?pool ~seed ?entries ?smoke ?only ?inv_every
+      ~worst_n:(max 1 worst_n) ()
+  in
+  let root = Prng.create seed in
+  let deliveries =
+    List.concat_map
+      (fun spec ->
+        List.mapi
+          (fun rank w -> capture_delivery ~root ~spec ~rank w)
+          run_worsts.(spec.rs_index))
+      specs
+  in
+  let tail = { Obs.Tail_report.t_worst_n = max 1 worst_n; t_deliveries = deliveries } in
+  let profiles =
+    List.fold_left
+      (fun acc spec ->
+        if List.mem_assoc spec.rs_label acc then acc
+        else
+          acc
+          @ [
+              ( spec.rs_label,
+                Response_time.interrupt_response_profile (actx_of_spec spec) );
+            ])
+      [] specs
+  in
+  let gaps =
+    List.filter_map
+      (fun spec ->
+        let rr =
+          List.find
+            (fun rr ->
+              rr.rr_scenario = spec.rs_scenario.sc_name
+              && rr.rr_build = spec.rs_label)
+            report.rp_runs
+        in
+        match
+          List.find_opt
+            (fun (d : Obs.Tail_report.delivery) ->
+              d.Obs.Tail_report.d_scenario = spec.rs_scenario.sc_name
+              && d.Obs.Tail_report.d_build = spec.rs_label
+              && d.Obs.Tail_report.d_rank = 0)
+            deliveries
+        with
+        | None -> None
+        | Some worst ->
+            let profile = List.assoc spec.rs_label profiles in
+            let executed_funcs =
+              List.concat_map
+                (fun (s, _) -> funcs_of_section s)
+                ((worst.Obs.Tail_report.d_section, 0)
+                :: worst.Obs.Tail_report.d_sections)
+            in
+            Some
+              (Obs.Gap_report.make ~scenario:spec.rs_scenario.sc_name
+                 ~build:spec.rs_label ~bound:spec.rs_bound
+                 ~observed_max:rr.rr_latency.ls_max
+                 ~sections:worst.Obs.Tail_report.d_sections
+                 ~charged:(Obs.Bound_profile.by_function profile)
+                 ~executed:(fun f -> List.mem f executed_funcs)))
+      specs
+  in
+  (report, throughput, { fo_tail = tail; fo_gaps = gaps; fo_profiles = profiles })
 
 (* --- reporting --- *)
 

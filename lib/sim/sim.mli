@@ -141,6 +141,44 @@ val run_campaign_timed :
     collect-all-then-merge path instead of the streaming ordered fold —
     same report bytes, unbounded memory; used by differential tests. *)
 
+(** {1 Forensics: tail flight recorder and gap report}
+
+    Retroactive capture of the worst deliveries of a campaign.  Pass 1 is
+    the ordinary campaign with a per-run worst-[n] index (pure
+    observation: no PRNG draws, no simulated cycles, so the report stays
+    byte-identical to a non-forensic run).  Pass 2 replays exactly the
+    shards implicated — their PRNG streams derive from
+    [(seed, run, shard)] alone — with a trace ring attached, stopping
+    right after the delivering entry, and extracts the window around each
+    worst delivery. *)
+
+type forensics = {
+  fo_tail : Obs.Tail_report.t;
+      (** the worst-[n] deliveries per (scenario, build) run, each with
+          its captured trace window and kernel-section attribution *)
+  fo_gaps : Obs.Gap_report.t list;
+      (** one per run: the bound decomposition aligned against the
+          observed worst window — headroom and never-executed charges *)
+  fo_profiles : (string * Obs.Bound_profile.t) list;
+      (** build label -> full interrupt-response bound decomposition, one
+          per distinct build variant of the campaign *)
+}
+
+val run_campaign_forensics :
+  ?pool:Sel4_rt.Parallel.t ->
+  ?seed:int ->
+  ?entries:int ->
+  ?smoke:bool ->
+  ?only:string list ->
+  ?inv_every:int ->
+  ?worst_n:int ->
+  unit ->
+  report * throughput * forensics
+(** [run_campaign_timed] plus the two-pass forensics capture.  [worst_n]
+    (default 2) bounds the flight-recorder ring per run.  The returned
+    [report] is byte-identical ([report_json]) to the same campaign run
+    without forensics. *)
+
 val pp_report : report Fmt.t
 
 val report_json : report -> string

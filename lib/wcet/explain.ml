@@ -1,0 +1,66 @@
+(* Bound decomposition: the per-block cycle split mirrors the cost model
+   of Cache_analysis.transfer —
+
+     cycles = instrs + miss penalties + data-hit cycles + branch cost
+
+   so execution = instrs, pipeline = the static branch cost when the
+   block ends in a conditional, and stall = everything the memory
+   hierarchy charged (fetch/data miss penalties plus L1 data-hit
+   cycles).  The three parts partition [cycles] exactly, which is what
+   makes the profile sum to the bound to the cycle. *)
+
+(* Source block label of an inlined block: its inlined label is
+   [context ^ "/" ^ source label]. *)
+let source_label ~context label =
+  let prefix = String.length context + 1 in
+  if String.length label > prefix && String.sub label 0 (prefix - 1) = context
+  then String.sub label prefix (String.length label - prefix)
+  else label
+
+let profile ~config ~entry (r : Ipet.result) =
+  let fn = r.inlined.Cfg.Inline.fn in
+  let block_label id = (Cfg.Flowgraph.block fn id).Cfg.Flowgraph.label in
+  let rows =
+    Array.to_list fn.Cfg.Flowgraph.blocks
+    |> List.filter_map (fun (b : Timing.t Cfg.Flowgraph.block) ->
+           let id = b.Cfg.Flowgraph.id in
+           let count = r.block_counts.(id) in
+           if count = 0 then None
+           else
+             let origin = Cfg.Inline.origin r.inlined id in
+             let cost = Cache_analysis.cost r.costs id in
+             let payload = b.Cfg.Flowgraph.payload in
+             let exec = payload.Timing.instrs in
+             let pipeline =
+               if
+                 Timing.ends_in_branch payload
+                   ~num_succs:(List.length b.Cfg.Flowgraph.succs)
+               then config.Hw.Config.branch_cost_static
+               else 0
+             in
+             Some
+               {
+                 Obs.Bound_profile.r_func = origin.Cfg.Inline.func;
+                 r_context = origin.Cfg.Inline.context;
+                 r_label =
+                   source_label ~context:origin.Cfg.Inline.context
+                     b.Cfg.Flowgraph.label;
+                 r_count = count;
+                 r_cycles = cost.Cache_analysis.cycles;
+                 r_exec = exec;
+                 r_stall = cost.Cache_analysis.cycles - exec - pipeline;
+                 r_pipeline = pipeline;
+                 r_fetch_misses = cost.Cache_analysis.fetch_misses;
+                 r_data_misses = cost.Cache_analysis.data_misses;
+               })
+  in
+  {
+    Obs.Bound_profile.p_entry = entry;
+    p_wcet = r.wcet;
+    p_rows = rows;
+    p_edges =
+      List.map
+        (fun ((a, b), c) -> ((block_label a, block_label b), c))
+        r.edge_counts;
+    p_binding = r.binding_constraints;
+  }

@@ -1,0 +1,14 @@
+(** Bound decomposition: reconstruct the analytic worst-case path of a
+    solved IPET instance as an {!Obs.Bound_profile}.
+
+    The ILP objective is [sum_b cycles_b * x_b], so the per-block rows of
+    the profile sum exactly to [result.wcet]; each row's per-visit cycles
+    are split into instruction execution, memory (cache) stall and
+    pipeline (branch) components using the same cost model the cache
+    analysis charged. *)
+
+val profile : config:Hw.Config.t -> entry:string -> Ipet.result -> Obs.Bound_profile.t
+(** [entry] names the analysed entry point in the profile (e.g.
+    ["syscall"]).  The profile carries the positive-flow edges and the
+    binding constraint rows (with provenance labels) of the optimal
+    basis. *)

@@ -42,6 +42,8 @@ type result = {
   lp_solves : int;
   elapsed_s : float;
   ilp_solution : int array;
+  edge_counts : ((int * int) * int) list;
+  binding_constraints : (string * int) list;
 }
 
 exception Unbounded_loop of string
@@ -322,6 +324,43 @@ let analyse_prepared ?(use_constraints = true) ?(sources : sources = `All)
   Obs.Metrics.observe span_solve (Clock.elapsed_s ~since:solve_started);
   match solved with
   | Ilp.Branch_bound.Optimal { objective; values } ->
+      (* The optimal basis, kept rather than discarded: per-edge traversal
+         counts at the optimum (sorted for determinism) and the inequality
+         rows that are tight there — the loop bounds and provenance-labelled
+         user constraints that actually limit the bound.  Flow-conservation
+         [Eq] rows are tight by construction and carry no information, so
+         they are skipped. *)
+      let edge_counts =
+        Hashtbl.fold
+          (fun e v acc ->
+            let c = values.((v : Ilp.Problem.var :> int)) in
+            if c > 0 then (e, c) :: acc else acc)
+          edges []
+        |> List.sort compare
+      in
+      let binding_constraints =
+        List.filter_map
+          (fun (c : Ilp.Problem.cstr) ->
+            (* Vacuously binding rows — every variable in the row is zero
+               at the optimum (constraints on inlined contexts the
+               critical path never enters) — are noise, not explanation. *)
+            let touched =
+              List.exists
+                (fun (_, v) -> values.((v : Ilp.Problem.var :> int)) > 0)
+                c.Ilp.Problem.terms
+            in
+            if
+              c.Ilp.Problem.relation <> Ilp.Problem.Eq
+              && c.Ilp.Problem.label <> ""
+              && touched
+              && Ilp.Problem.binding c values
+            then
+              Some
+                ( c.Ilp.Problem.label,
+                  Ilp.Problem.eval_terms c.Ilp.Problem.terms values )
+            else None)
+          (Ilp.Problem.constraints problem)
+      in
       {
         wcet = objective;
         block_counts = Array.init n (fun b -> values.((x.(b) :> int)));
@@ -333,6 +372,8 @@ let analyse_prepared ?(use_constraints = true) ?(sources : sources = `All)
         lp_solves = stats.Ilp.Branch_bound.lp_solves;
         elapsed_s = p.prep_elapsed_s +. Clock.elapsed_s ~since:started;
         ilp_solution = values;
+        edge_counts;
+        binding_constraints;
       }
   | Ilp.Branch_bound.Infeasible -> raise (No_solution "ILP infeasible")
   | Ilp.Branch_bound.Unbounded -> raise (No_solution "ILP unbounded")

@@ -39,6 +39,14 @@ type result = {
       (** the full optimal assignment over every ILP variable (blocks and
           edges, in creation order) — a valid warm start for any *less*
           constrained variant of the same problem *)
+  edge_counts : ((int * int) * int) list;
+      (** traversal counts of CFG edges (inlined block ids) at the optimum,
+          restricted to edges with positive flow, sorted *)
+  binding_constraints : (string * int) list;
+      (** labelled inequality rows that are tight at the optimum — the loop
+          bounds and provenance-labelled user constraints of the optimal
+          basis that actually limit the bound — with the row's left-hand
+          side value; flow-conservation equalities are omitted *)
 }
 
 exception Unbounded_loop of string

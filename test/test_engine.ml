@@ -164,6 +164,106 @@ let test_parallel_experiments_equal_serial () =
   check_int_list "parallel deterministic" parallel1 parallel2;
   check_int_list "parallel equals serial fresh" serial parallel1
 
+(* --- bound decomposition (sel4rt explain) --- *)
+
+(* The acceptance property of the decomposition: the per-block rows are a
+   partition of the bound — exec + stall + pipeline sums to the WCET
+   exactly, for every entry point, build and hardware config. *)
+let test_profile_sums_to_bound () =
+  List.iter
+    (fun (bname, build) ->
+      List.iter
+        (fun (cname, config) ->
+          let ctx = Sel4_rt.Analysis_ctx.make ~config ~build () in
+          List.iter
+            (fun entry ->
+              let label = Fmt.str "%s/%s/%s" bname cname (KM.entry_name entry) in
+              let p = Sel4_rt.Response_time.profile ctx entry in
+              let bound = Sel4_rt.Response_time.computed_cycles ctx entry in
+              check_bool (label ^ ": exact partition") true
+                (Obs.Bound_profile.exact p);
+              check_int (label ^ ": total = wcet") bound
+                (Obs.Bound_profile.total p);
+              check_int (label ^ ": components partition the total")
+                (Obs.Bound_profile.total p)
+                (Obs.Bound_profile.exec_total p
+                + Obs.Bound_profile.stall_total p
+                + Obs.Bound_profile.pipeline_total p);
+              List.iter
+                (fun (r : Obs.Bound_profile.row) ->
+                  check_int
+                    (Fmt.str "%s: row %s partitions" label
+                       r.Obs.Bound_profile.r_label)
+                    r.Obs.Bound_profile.r_cycles
+                    (r.Obs.Bound_profile.r_exec + r.Obs.Bound_profile.r_stall
+                   + r.Obs.Bound_profile.r_pipeline))
+                p.Obs.Bound_profile.p_rows)
+            KM.entry_points)
+        configs)
+    builds
+
+(* The kernel_entry decomposition (what `sel4rt explain kernel_entry`
+   prints) must sum to the interrupt-response bound. *)
+let test_response_profile_sums_to_response_bound () =
+  List.iter
+    (fun (cname, config) ->
+      let ctx = Sel4_rt.Analysis_ctx.make ~config () in
+      let p = Sel4_rt.Response_time.interrupt_response_profile ctx in
+      check_bool (cname ^ ": exact") true (Obs.Bound_profile.exact p);
+      check_int
+        (cname ^ ": total = response bound")
+        (Sel4_rt.Response_time.interrupt_response_bound ctx)
+        (Obs.Bound_profile.total p))
+    configs
+
+(* The pinned variant reroutes stall cycles, never execution: pinning may
+   only shrink the stall component. *)
+let test_pinned_profile_shrinks_stall () =
+  let config = Hw.Config.with_pinning Hw.Config.with_l2 in
+  let build = Sel4.Build.improved in
+  let sel = Sel4_rt.Pinning.select build in
+  let pins =
+    {
+      Sel4_rt.Response_time.code = sel.Sel4_rt.Pinning.code_lines;
+      data = sel.Sel4_rt.Pinning.data_lines;
+    }
+  in
+  let plain =
+    Sel4_rt.Response_time.interrupt_response_profile
+      (Sel4_rt.Analysis_ctx.make ~config:Hw.Config.with_l2 ~build ())
+  in
+  let pinned =
+    Sel4_rt.Response_time.interrupt_response_profile
+      (Sel4_rt.Analysis_ctx.make ~config ~pins ~build ())
+  in
+  check_bool "pinning tightens the bound" true
+    (Obs.Bound_profile.total pinned <= Obs.Bound_profile.total plain);
+  check_bool "pinned stall below plain stall" true
+    (Obs.Bound_profile.stall_total pinned
+    <= Obs.Bound_profile.stall_total plain)
+
+(* Folded-stack export carries exactly the profile's cycles: flamegraph
+   totals must agree with the bound. *)
+let test_folded_sums_to_bound () =
+  let ctx = Sel4_rt.Analysis_ctx.make ~config:Hw.Config.default () in
+  let p = Sel4_rt.Response_time.interrupt_response_profile ctx in
+  let folded = Obs.Bound_profile.to_folded p in
+  let total =
+    List.fold_left
+      (fun acc line ->
+        if String.trim line = "" then acc
+        else
+          match String.rindex_opt line ' ' with
+          | None -> Alcotest.failf "malformed folded line %S" line
+          | Some i ->
+              acc
+              + int_of_string
+                  (String.sub line (i + 1) (String.length line - i - 1)))
+      0
+      (String.split_on_char '\n' folded)
+  in
+  check_int "folded lines sum to the bound" (Obs.Bound_profile.total p) total
+
 let () =
   Alcotest.run "engine"
     [
@@ -187,5 +287,15 @@ let () =
             test_case "nested maps" `Quick test_pool_nested_map;
             test_case "experiments equal serial" `Slow
               test_parallel_experiments_equal_serial;
+          ] );
+      ( "explain",
+        Alcotest.
+          [
+            test_case "profile sums to bound" `Slow test_profile_sums_to_bound;
+            test_case "response profile sums to response bound" `Quick
+              test_response_profile_sums_to_response_bound;
+            test_case "pinning shrinks stall" `Quick
+              test_pinned_profile_shrinks_stall;
+            test_case "folded sums to bound" `Quick test_folded_sums_to_bound;
           ] );
     ]

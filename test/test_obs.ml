@@ -293,6 +293,72 @@ let test_attribution_real_interrupt () =
             (bd.A.delivered_at - bd.A.asserted_at))
         bds
 
+(* A trace with two IRQ lines asserted inside different kernel sections,
+   one of them while a previous delivery is still outstanding: every
+   breakdown must recover its own assertion point and section. *)
+let test_attribution_multi_line () =
+  let events =
+    [
+      ev 100 0 (T.Kernel_enter { event = "call" });
+      ev 180 10 (T.Irq_deliver { line = 3; latency = 80 });
+      ev 300 20 (T.Kernel_exit { outcome = "completed" });
+      ev 350 20 (T.Kernel_enter { event = "interrupt" });
+      ev 420 25 (T.Irq_deliver { line = 9; latency = 100 });
+      ev 500 30 (T.Kernel_exit { outcome = "completed" });
+    ]
+  in
+  match A.irq_breakdowns events with
+  | [ b3; b9 ] ->
+      check_int "line 3 first" 3 b3.A.line;
+      check_int "line 3 asserted" 100 b3.A.asserted_at;
+      check_string "line 3 section" "call" b3.A.section;
+      check_int "line 9 second" 9 b9.A.line;
+      check_int "line 9 asserted" 320 b9.A.asserted_at;
+      (* Line 9's assertion predates the interrupt entry at 350: it landed
+         on the user side of the exit at 300. *)
+      check_string "line 9 section" "user" b9.A.section;
+      List.iter
+        (fun (b : A.irq_breakdown) ->
+          check_int "split adds up" b.A.latency
+            (b.A.stall_cycles + b.A.compute_cycles))
+        [ b3; b9 ]
+  | l -> Alcotest.failf "expected 2 breakdowns, got %d" (List.length l)
+
+(* --- per-section cycle attribution of a window --- *)
+
+let test_section_profile () =
+  let events =
+    [
+      ev 100 0 (T.Kernel_enter { event = "call" });
+      ev 250 10 (T.Kernel_exit { outcome = "completed" });
+      ev 300 10 (T.Kernel_enter { event = "interrupt" });
+      ev 400 15 (T.Irq_deliver { line = 1; latency = 260 });
+      ev 420 15 (T.Kernel_exit { outcome = "completed" });
+    ]
+  in
+  (* Window [140, 400]: 110 in call, 50 user (250..300), 100 interrupt,
+     then the remaining 0 — sums to 260. *)
+  let profile = A.section_profile events ~from:140 ~until:400 in
+  check_int "sums to the window" 260
+    (List.fold_left (fun a (_, c) -> a + c) 0 profile);
+  check_int "call cycles" 110 (List.assoc "call" profile);
+  check_int "interrupt cycles" 100 (List.assoc "interrupt" profile);
+  check_int "user cycles" 50 (List.assoc "user" profile);
+  check_bool "largest first" true
+    (match profile with (_, a) :: (_, b) :: _ -> a >= b | _ -> false);
+  (* Clipping: a window that starts before the trace and ends mid-section
+     still sums exactly. *)
+  let clipped = A.section_profile events ~from:0 ~until:200 in
+  check_int "clipped sums" 200
+    (List.fold_left (fun a (_, c) -> a + c) 0 clipped);
+  check_int "clipped user prefix" 100 (List.assoc "user" clipped);
+  check_int "clipped call" 100 (List.assoc "call" clipped);
+  check_int "empty window" 0
+    (List.fold_left
+       (fun a (_, c) -> a + c)
+       0
+       (A.section_profile events ~from:200 ~until:200))
+
 (* --- Chrome trace_event export --- *)
 
 let test_chrome_json () =
@@ -405,6 +471,188 @@ let test_metrics_percentiles () =
       | Some e -> check_bool "empty percentile" true (M.percentile e 0.5 = 0.0)
       | None -> Alcotest.fail "empty histogram missing"
 
+(* Small samples (at most 64 distinct values) get exact order-statistic
+   percentiles, not the conservative bucket upper bound. *)
+let test_metrics_exact_small () =
+  let h = M.histogram "test.pct_exact" in
+  List.iter (M.observe h) [ 7.0; 3.0; 11.0; 3.0; 40.0 ];
+  (match List.assoc_opt "test.pct_exact" (M.snapshot ()).M.s_histograms with
+  | None -> Alcotest.fail "histogram missing"
+  | Some hs ->
+      (match hs.M.hs_exact with
+      | Some vals ->
+          Alcotest.(check (list (pair (float 0.0) int)))
+            "exact multiset ascending"
+            [ (3.0, 2); (7.0, 1); (11.0, 1); (40.0, 1) ]
+            vals
+      | None -> Alcotest.fail "exact multiset dropped below the limit");
+      (* Rank statistics of [3;3;7;11;40]: p50 -> rank 3 = 7, not the
+         bucket-8 upper bound the conservative path would report. *)
+      check_bool "p50 exact" true (M.percentile hs 0.5 = 7.0);
+      check_bool "p20 exact" true (M.percentile hs 0.2 = 3.0);
+      check_bool "p90 exact" true (M.percentile hs 0.9 = 40.0);
+      check_bool "p100 exact" true (M.percentile hs 1.0 = 40.0));
+  (* Exactness survives reset. *)
+  M.reset ();
+  M.observe h 5.0;
+  match List.assoc_opt "test.pct_exact" (M.snapshot ()).M.s_histograms with
+  | Some hs -> check_bool "exact after reset" true (M.percentile hs 0.5 = 5.0)
+  | None -> Alcotest.fail "histogram missing after reset"
+
+(* Past 64 distinct values the multiset is dropped and the conservative
+   bucket estimate takes over — pinning the current behaviour the
+   [test_metrics_percentiles] case above relies on. *)
+let test_metrics_exact_overflow () =
+  let h = M.histogram "test.pct_overflow" in
+  for v = 1 to 64 do
+    M.observe h (float_of_int v)
+  done;
+  (match List.assoc_opt "test.pct_overflow" (M.snapshot ()).M.s_histograms with
+  | Some hs ->
+      check_bool "64 distinct still exact" true (hs.M.hs_exact <> None);
+      check_bool "p50 exact at the limit" true (M.percentile hs 0.5 = 32.0)
+  | None -> Alcotest.fail "histogram missing");
+  M.observe h 65.0;
+  match List.assoc_opt "test.pct_overflow" (M.snapshot ()).M.s_histograms with
+  | Some hs ->
+      check_bool "65th distinct value drops the multiset" true
+        (hs.M.hs_exact = None);
+      (* Back on the conservative path: bucket upper bound, never below
+         the true quantile. *)
+      check_bool "p50 conservative again" true (M.percentile hs 0.5 = 64.0)
+  | None -> Alcotest.fail "histogram missing"
+
+(* Ring overflow is not silent: every wrapped emission bumps the
+   process-wide trace.dropped counter. *)
+let test_trace_dropped_counter () =
+  let c = M.counter "trace.dropped" in
+  M.set_counter c 0;
+  let t = T.create ~capacity:3 () in
+  for i = 1 to 8 do
+    T.emit t ~at:i ~stall:0 (T.Marker (string_of_int i))
+  done;
+  check_int "per-ring dropped" 5 (T.dropped t);
+  check_int "registry counter" 5 (M.value c);
+  M.set_counter c 0
+
+(* --- bound profile (the `sel4rt explain` data model) --- *)
+
+module BP = Obs.Bound_profile
+
+let row ?(context = "") ?(count = 1) ~func ~label ~exec ~stall ~pipeline () =
+  {
+    BP.r_func = func;
+    r_context = context;
+    r_label = label;
+    r_count = count;
+    r_cycles = exec + stall + pipeline;
+    r_exec = exec;
+    r_stall = stall;
+    r_pipeline = pipeline;
+    r_fetch_misses = 0;
+    r_data_misses = 0;
+  }
+
+(* Row components are per visit; every aggregate multiplies by the
+   block's execution count.  vec_entry 1x100 + l_body 4x140 + sc_exit
+   1x20 = 680. *)
+let profile_fixture () =
+  {
+    BP.p_entry = "syscall";
+    p_wcet = 680;
+    p_rows =
+      [
+        row ~func:"syscall" ~label:"vec_entry" ~exec:10 ~stall:90 ~pipeline:0 ();
+        row ~func:"lookup" ~context:"syscall/lookup@op" ~count:4 ~label:"l_body"
+          ~exec:20 ~stall:120 ~pipeline:0 ();
+        row ~func:"syscall" ~label:"sc_exit" ~exec:15 ~stall:0 ~pipeline:5 ();
+      ];
+    p_edges = [ (("vec_entry", "l_body"), 4); (("l_body", "sc_exit"), 1) ];
+    p_binding = [ ("loop bound lookup/l_head <= 4 per entry", 0) ];
+  }
+
+let test_bound_profile_totals () =
+  let p = profile_fixture () in
+  check_int "total" 680 (BP.total p);
+  check_bool "exact" true (BP.exact p);
+  check_int "exec" 105 (BP.exec_total p);
+  check_int "stall" 570 (BP.stall_total p);
+  check_int "pipeline" 5 (BP.pipeline_total p);
+  check_int "components partition the total" (BP.total p)
+    (BP.exec_total p + BP.stall_total p + BP.pipeline_total p);
+  (match BP.by_function p with
+  | (f1, c1) :: _ ->
+      check_string "largest function first" "lookup" f1;
+      check_int "lookup cycles" 560 c1
+  | [] -> Alcotest.fail "by_function empty");
+  let broken = { p with BP.p_wcet = 681 } in
+  check_bool "inexact detected" false (BP.exact broken)
+
+let test_bound_profile_folded () =
+  let p = profile_fixture () in
+  let folded = BP.to_folded p in
+  let lines =
+    List.filter (fun l -> String.trim l <> "") (String.split_on_char '\n' folded)
+  in
+  check_bool "one line per nonzero component" true (List.length lines = 6);
+  let total =
+    List.fold_left
+      (fun acc line ->
+        match String.rindex_opt line ' ' with
+        | None -> Alcotest.failf "malformed folded line %S" line
+        | Some i ->
+            acc
+            + int_of_string (String.sub line (i + 1) (String.length line - i - 1)))
+      0 lines
+  in
+  check_int "folded sums to the bound" 680 total;
+  check_bool "frames are semicolon-separated from the entry" true
+    (List.for_all
+       (fun l -> String.length l > 8 && String.sub l 0 8 = "syscall;")
+       lines)
+
+let test_bound_profile_json () =
+  let p = profile_fixture () in
+  let v =
+    try parse_json (BP.to_json p) with Bad_json m -> Alcotest.fail m
+  in
+  (match member "wcet_cycles" v with
+  | Some (Num n) -> check_int "wcet field" 680 (int_of_float n)
+  | _ -> Alcotest.fail "no wcet_cycles");
+  (match member "blocks" v with
+  | Some (Arr rows) -> check_int "three blocks" 3 (List.length rows)
+  | _ -> Alcotest.fail "no blocks");
+  match member "binding_constraints" v with
+  | Some (Arr [ _ ]) -> ()
+  | _ -> Alcotest.fail "no binding constraints"
+
+let test_bound_profile_concat () =
+  let a = profile_fixture () in
+  let b =
+    {
+      BP.p_entry = "interrupt";
+      p_wcet = 40;
+      p_rows =
+        [ row ~func:"interrupt" ~label:"irq_entry" ~exec:40 ~stall:0 ~pipeline:0 () ];
+      p_edges = [];
+      p_binding = [];
+    }
+  in
+  let joined = BP.concat ~entry:"kernel_entry" [ a; b ] in
+  check_int "concat total" 720 (BP.total joined);
+  check_bool "concat exact" true (BP.exact joined);
+  check_string "concat entry" "kernel_entry" joined.BP.p_entry;
+  check_bool "contexts keep their source entry" true
+    (List.for_all
+       (fun (r : BP.row) ->
+         let c = r.BP.r_context in
+         let has_prefix p =
+           String.length c >= String.length p
+           && String.sub c 0 (String.length p) = p
+         in
+         has_prefix "syscall" || has_prefix "interrupt")
+       joined.BP.p_rows)
+
 let () =
   Alcotest.run "obs"
     [
@@ -420,6 +668,9 @@ let () =
         [
           Alcotest.test_case "irq breakdown" `Quick test_attribution_irq;
           Alcotest.test_case "longest section" `Quick test_attribution_section;
+          Alcotest.test_case "multi-line irq trace" `Quick
+            test_attribution_multi_line;
+          Alcotest.test_case "section profile" `Quick test_section_profile;
           Alcotest.test_case "real interrupt" `Slow
             test_attribution_real_interrupt;
         ] );
@@ -431,5 +682,19 @@ let () =
           Alcotest.test_case "span and reset" `Quick
             test_metrics_span_and_reset;
           Alcotest.test_case "percentiles" `Quick test_metrics_percentiles;
+          Alcotest.test_case "exact small samples" `Quick
+            test_metrics_exact_small;
+          Alcotest.test_case "exact overflow to conservative" `Quick
+            test_metrics_exact_overflow;
+          Alcotest.test_case "trace.dropped counter" `Quick
+            test_trace_dropped_counter;
+        ] );
+      ( "bound_profile",
+        [
+          Alcotest.test_case "totals and partition" `Quick
+            test_bound_profile_totals;
+          Alcotest.test_case "folded stacks" `Quick test_bound_profile_folded;
+          Alcotest.test_case "json" `Quick test_bound_profile_json;
+          Alcotest.test_case "concat" `Quick test_bound_profile_concat;
         ] );
     ]

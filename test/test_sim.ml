@@ -143,6 +143,92 @@ let test_inv_every_invisible () =
   check_bool "inv-every 64 = inv-every 512" true (json 64 = json 512);
   check_bool "inv-every off = inv-every 512" true (json 0 = json 512)
 
+(* Forensics is pure observation: pass 1 tracks the worst deliveries
+   without drawing from the PRNG or charging cycles, pass 2 replays in
+   separate shard instances — so the smoke report must stay byte-identical
+   to the committed golden fixture with forensics enabled. *)
+let test_forensics_golden_identity () =
+  let golden = read_file golden_fixture in
+  let report, _, forensics = Sim.run_campaign_forensics ~smoke:true () in
+  check_bool "forensics leaves the smoke report byte-identical" true
+    (Sim.report_json report = golden);
+  let tail = forensics.Sim.fo_tail in
+  check_bool "tail report non-empty" true
+    (tail.Obs.Tail_report.t_deliveries <> []);
+  List.iter
+    (fun (d : Obs.Tail_report.delivery) ->
+      check_bool "window captured" true (d.Obs.Tail_report.d_window <> []);
+      check_bool "sections sum to latency" true
+        (List.fold_left
+           (fun a (_, c) -> a + c)
+           0 d.Obs.Tail_report.d_sections
+        = d.Obs.Tail_report.d_latency);
+      check_bool "delivery event inside window" true
+        (List.exists
+           (fun (e : Obs.Trace.event) ->
+             match e.Obs.Trace.kind with
+             | Obs.Trace.Irq_deliver { line; latency } ->
+                 line = d.Obs.Tail_report.d_line
+                 && latency = d.Obs.Tail_report.d_latency
+                 && e.Obs.Trace.at = d.Obs.Tail_report.d_delivered_at
+             | _ -> false)
+           d.Obs.Tail_report.d_window))
+    tail.Obs.Tail_report.t_deliveries
+
+(* The replayed worst window must agree with pass 1's measurements, and
+   the gap report must align it against the bound decomposition. *)
+let test_forensics_gap_alignment () =
+  let report, _, forensics =
+    Sim.run_campaign_forensics ~entries:1_200
+      ~only:[ "ipc_pingpong"; "untyped_churn" ]
+      ()
+  in
+  check_bool "one gap per run" true
+    (List.length forensics.Sim.fo_gaps = List.length report.Sim.rp_runs);
+  List.iter
+    (fun (g : Obs.Gap_report.t) ->
+      let rr =
+        List.find
+          (fun rr ->
+            rr.Sim.rr_scenario = g.Obs.Gap_report.g_scenario
+            && rr.Sim.rr_build = g.Obs.Gap_report.g_build)
+          report.Sim.rp_runs
+      in
+      check_int "gap bound = run bound" rr.Sim.rr_bound
+        g.Obs.Gap_report.g_bound;
+      check_int "gap observed = run single-outstanding max"
+        rr.Sim.rr_latency.Sim.ls_max g.Obs.Gap_report.g_observed_max;
+      check_int "headroom arithmetic"
+        (g.Obs.Gap_report.g_bound - g.Obs.Gap_report.g_observed_max)
+        g.Obs.Gap_report.g_headroom;
+      check_bool "charged funcs cover the bound" true
+        (List.fold_left
+           (fun a (f : Obs.Gap_report.func_gap) ->
+             a + f.Obs.Gap_report.g_bound_cycles)
+           0 g.Obs.Gap_report.g_funcs
+        = g.Obs.Gap_report.g_bound);
+      check_bool "unexecuted cycles consistent" true
+        (List.fold_left
+           (fun a (f : Obs.Gap_report.func_gap) ->
+             if f.Obs.Gap_report.g_executed then a
+             else a + f.Obs.Gap_report.g_bound_cycles)
+           0 g.Obs.Gap_report.g_funcs
+        = g.Obs.Gap_report.g_unexecuted_cycles))
+    forensics.Sim.fo_gaps;
+  (* every build variant got a decomposition, and each sums to its bound *)
+  List.iter
+    (fun (label, p) ->
+      let rr = List.find (fun rr -> rr.Sim.rr_build = label) report.Sim.rp_runs in
+      check_bool
+        (Fmt.str "profile %s exact" label)
+        true
+        (Obs.Bound_profile.exact p);
+      check_int
+        (Fmt.str "profile %s total = bound" label)
+        rr.Sim.rr_bound
+        (Obs.Bound_profile.total p))
+    forensics.Sim.fo_profiles
+
 let test_report_json_shape () =
   let r = small () in
   let json = Sim.report_json r in
@@ -179,6 +265,10 @@ let () =
             test_case "golden smoke report" `Slow test_golden_smoke_report;
             test_case "stream equals collect" `Slow test_stream_equals_collect;
             test_case "inv-every invisible" `Quick test_inv_every_invisible;
+            test_case "forensics golden identity" `Slow
+              test_forensics_golden_identity;
+            test_case "forensics gap alignment" `Slow
+              test_forensics_gap_alignment;
             test_case "report json shape" `Quick test_report_json_shape;
           ] );
     ]
