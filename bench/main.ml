@@ -55,6 +55,24 @@ let run_inject () =
   inject_report := Some report;
   Fmt.pr "%a@." Inject.pp_report report
 
+(* The latest race-audit and schedule-exploration reports, kept for the
+   --json summary: the explore counters feed the BENCH_wcet.json explore
+   object and the perf-ledger record. *)
+let race_report : Race.audit_report option ref = ref None
+let explore_report : Explore.report option ref = ref None
+
+let run_race () =
+  let report = Race.audit ~smoke:true Sel4_rt.Analysis_ctx.default in
+  race_report := Some report;
+  Fmt.pr "%a@." Race.pp_matrix ();
+  Fmt.pr "%a@." Race.pp_og ();
+  Fmt.pr "%a@." Race.pp_audit report
+
+let run_explore () =
+  let report = Explore.run ~smoke:true Sel4_rt.Analysis_ctx.default in
+  explore_report := Some report;
+  Fmt.pr "%a@." Explore.pp_report report
+
 (* The latest soak-campaign report and its wall-clock economics, kept for
    the --json summary, plus the worst-delivery forensics (tail flight
    recorder, bound decomposition and gap reports). *)
@@ -175,6 +193,8 @@ let sections =
     ("fastpath", run_fastpath);
     ("replacement", run_replacement);
     ("inject", run_inject);
+    ("race", run_race);
+    ("explore", run_explore);
     ("sim", run_sim);
     ("micro", run_micro);
   ]
@@ -258,7 +278,7 @@ let table2_cell_json (c : Sel4_rt.Experiments.table2_cell) =
 let write_json ~path ~section_times ~engine_wall_s ~serial_fresh_wall_s
     ~(stats : Sel4_rt.Analysis_cache.stats) ~domains ~requested_domains
     ~recommended_domains ~warning ~analysis_rows ~constraint_rows ~table2_rows
-    ~inject_rep ~sim_rep ~sim_forensics =
+    ~inject_rep ~race_rep ~explore_rep ~sim_rep ~sim_forensics =
   let buf = Buffer.create 2048 in
   let addf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   let f v = Printf.sprintf "%.6f" v in
@@ -325,6 +345,39 @@ let write_json ~path ~section_times ~engine_wall_s ~serial_fresh_wall_s
             (List.length o.Inject.o_failures)
             (if i < List.length r.Inject.r_ops - 1 then "," else ""))
         r.Inject.r_ops;
+      addf "  ]},\n");
+  (match explore_rep with
+  | None -> ()
+  | Some (r : Explore.report) ->
+      let sum g = List.fold_left (fun a s -> a + g s) 0 r.Explore.x_scens in
+      addf
+        "  \"explore\": {\"smoke\": %b, \"depth\": %d, \"runs\": %d, \
+         \"universe\": %d, \"explored\": %d, \"pruned\": %d, \"deduped\": \
+         %d, \"digest_classes\": %d, \"failures\": %d, \
+         \"audit_violations\": %s, \"ops\": [\n"
+        r.Explore.x_smoke r.Explore.x_depth r.Explore.x_total_runs
+        (sum (fun s -> s.Explore.e_universe))
+        (sum (fun s -> s.Explore.e_explored))
+        (sum (fun s -> s.Explore.e_pruned))
+        (sum (fun s -> s.Explore.e_deduped))
+        (sum (fun s -> s.Explore.e_digest_classes))
+        (sum (fun s -> List.length s.Explore.e_failures))
+        (match race_rep with
+        | None -> "null"
+        | Some (a : Race.audit_report) ->
+            string_of_int (List.length a.Race.ar_violations));
+      List.iteri
+        (fun i (s : Explore.scen_report) ->
+          addf
+            "    {\"op\": \"%s\", \"polls\": %d, \"universe\": %d, \
+             \"explored\": %d, \"pruned\": %d, \"deduped\": %d, \
+             \"digest_classes\": %d, \"failures\": %d}%s\n"
+            (json_escape s.Explore.e_scenario)
+            s.Explore.e_polls s.Explore.e_universe s.Explore.e_explored
+            s.Explore.e_pruned s.Explore.e_deduped s.Explore.e_digest_classes
+            (List.length s.Explore.e_failures)
+            (if i < List.length r.Explore.x_scens - 1 then "," else ""))
+        r.Explore.x_scens;
       addf "  ]},\n");
   (match sim_rep with
   | None -> ()
@@ -417,7 +470,8 @@ let current_commit () =
 (* The ledger is append-only: one record per run with the wall-clock
    economics and every computed bound, so CI can diff consecutive records
    and fail on throughput regressions or silent bound drift. *)
-let append_history ~path ~engine_wall_s ~serial_fresh_wall_s ~sim_rep =
+let append_history ~path ~engine_wall_s ~serial_fresh_wall_s ~sim_rep
+    ~explore_rep =
   let buf = Buffer.create 512 in
   let addf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   addf "{\"commit\": \"%s\"" (json_escape (current_commit ()));
@@ -443,6 +497,18 @@ let append_history ~path ~engine_wall_s ~serial_fresh_wall_s ~sim_rep =
           addf "%s\"%s\": %d" (if i > 0 then ", " else "") (json_escape label) b)
         bounds;
       addf "}");
+  (match explore_rep with
+  | None -> addf ", \"explore\": null"
+  | Some (r : Explore.report) ->
+      let sum g = List.fold_left (fun a s -> a + g s) 0 r.Explore.x_scens in
+      addf
+        ", \"explore\": {\"explored\": %d, \"pruned\": %d, \"deduped\": %d, \
+         \"digest_classes\": %d, \"failures\": %d}"
+        (sum (fun s -> s.Explore.e_explored))
+        (sum (fun s -> s.Explore.e_pruned))
+        (sum (fun s -> s.Explore.e_deduped))
+        (sum (fun s -> s.Explore.e_digest_classes))
+        (sum (fun s -> List.length s.Explore.e_failures)));
   addf "}\n";
   let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
   output_string oc (Buffer.contents buf);
@@ -519,9 +585,11 @@ let () =
     write_json ~path ~section_times ~engine_wall_s ~serial_fresh_wall_s ~stats
       ~domains ~requested_domains ~recommended_domains ~warning ~analysis_rows
       ~constraint_rows ~table2_rows:!table2_rows ~inject_rep:!inject_report
-      ~sim_rep:!sim_report ~sim_forensics:!sim_forensics;
+      ~race_rep:!race_report ~explore_rep:!explore_report ~sim_rep:!sim_report
+      ~sim_forensics:!sim_forensics;
     append_history ~path:"BENCH_history.jsonl" ~engine_wall_s
-      ~serial_fresh_wall_s ~sim_rep:!sim_report;
+      ~serial_fresh_wall_s ~sim_rep:!sim_report
+      ~explore_rep:!explore_report;
     Fmt.pr "@.engine: %.3fs  serial fresh: %.3fs  speedup: %.1fx  cache hit \
             rate: %.0f%%  (%s)@."
       engine_wall_s serial_fresh_wall_s

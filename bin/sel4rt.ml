@@ -531,11 +531,12 @@ let metrics_cmd =
     Term.(const run $ l2_arg $ runs_arg $ json_arg)
 
 let inject_cmd =
-  let run smoke seed l2 =
+  let run smoke seed l2 json =
     let config = config_of ~l2 ~pin:false in
     let ctx = Sel4_rt.Analysis_ctx.make ~config () in
     let report = Inject.run_campaign ~smoke ~seed ctx in
-    Fmt.pr "%a@." Inject.pp_report report;
+    if json then print_string (Inject.to_json report)
+    else Fmt.pr "%a@." Inject.pp_report report;
     if not (Inject.ok report) then exit 1
   in
   let smoke_arg =
@@ -552,6 +553,14 @@ let inject_cmd =
       & info [ "seed" ] ~docv:"N"
           ~doc:"PRNG seed for the multi-interrupt schedules.")
   in
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "Emit the machine-readable campaign report (same envelope as \
+             $(b,sel4rt explore --json)) instead of the readable table.")
+  in
   Cmd.v
     (Cmd.info "inject"
        ~doc:
@@ -560,7 +569,86 @@ let inject_cmd =
           preemption point, check the invariant catalogue and restart \
           progress after every kernel exit, and differentially compare final \
           states across scheduler variants. Exits non-zero on any failure.")
-    Term.(const run $ smoke_arg $ seed_arg $ l2_arg)
+    Term.(const run $ smoke_arg $ seed_arg $ l2_arg $ json_arg)
+
+let race_cmd =
+  let run smoke json =
+    let ctx = Sel4_rt.Analysis_ctx.default in
+    let report = Race.audit ~smoke ctx in
+    if json then print_string (Race.to_json report)
+    else begin
+      Fmt.pr "%a@." Race.pp_matrix ();
+      Fmt.pr "%a@." Race.pp_og ();
+      Fmt.pr "%a@." Race.pp_audit report
+    end;
+    if not (Race.audit_ok report) then exit 1
+  in
+  let smoke_arg =
+    Arg.(
+      value & flag
+      & info [ "smoke" ]
+          ~doc:"Audit against the small injection workloads (the CI run).")
+  in
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "Emit the full analysis (sections, matrix, Owicki-Gries rows, \
+             audit) as JSON.")
+  in
+  Cmd.v
+    (Cmd.info "race"
+       ~doc:
+         "Static interference analysis over preemption-delimited sections: \
+          print the declared read/write footprints, the pairwise \
+          interference matrix, the Owicki-Gries progress-measure report, \
+          and audit the declarations against recorded accesses by replaying \
+          every long-running operation preempted at every poll. Exits \
+          non-zero if any recorded access escapes its declared footprint.")
+    Term.(const run $ smoke_arg $ json_arg)
+
+let explore_cmd =
+  let run smoke depth json =
+    let ctx = Sel4_rt.Analysis_ctx.default in
+    let report = Explore.run ~smoke ?depth ctx in
+    if json then print_string (Explore.to_json report)
+    else Fmt.pr "%a@." Explore.pp_report report;
+    if not (Explore.ok report) then exit 1
+  in
+  let smoke_arg =
+    Arg.(
+      value & flag
+      & info [ "smoke" ]
+          ~doc:"Depth-2 ep-delete scenario only: the fast CI configuration.")
+  in
+  let depth_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "depth" ] ~docv:"N"
+          ~doc:
+            "Maximum preemptions (and client actions) per schedule (default \
+             3, or 2 under $(b,--smoke)).")
+  in
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "Emit the machine-readable report (same envelope as $(b,sel4rt \
+             inject --json)) instead of the readable table.")
+  in
+  Cmd.v
+    (Cmd.info "explore"
+       ~doc:
+         "DPOR schedule explorer: systematically enumerate multi-preemption \
+          schedules that run interfering client actions in the windows the \
+          preemptions open, prune schedules whose actions provably commute \
+          (static interference analysis), deduplicate final states by \
+          canonical digest, and judge every explored schedule with the \
+          injection oracles. Exits non-zero on any oracle failure.")
+    Term.(const run $ smoke_arg $ depth_arg $ json_arg)
 
 let sim_cmd =
   let run smoke seed entries only inv_every collect forensics forensics_out =
@@ -722,5 +810,7 @@ let () =
             trace_cmd;
             metrics_cmd;
             inject_cmd;
+            race_cmd;
+            explore_cmd;
             sim_cmd;
           ]))

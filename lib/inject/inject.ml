@@ -291,118 +291,10 @@ let setup env sz = function
 
 (* --- state digest --- *)
 
-(* Canonical rendering of the scheduler-independent final state.  Run
-   queues, [in_run_queue] flags and memoised lowest-mapped hints are
-   excluded: lazy scheduling parks blocked threads in the queues by
-   design, and the hints are performance state, not semantics. *)
-let digest_of (k : K.t) =
-  let b = Buffer.create 1024 in
-  let add fmt = Fmt.kstr (Buffer.add_string b) fmt in
-  let slot_coord (s : slot) =
-    match s.sl_cnode with
-    | Some cn -> Fmt.str "cn%d[%d]" cn.cn_id s.sl_index
-    | None -> Fmt.str "root[%d]" s.sl_index
-  in
-  let cap_str c = Fmt.to_to_string pp_cap c in
-  let tcb_ids q =
-    let rec go acc = function
-      | None -> List.rev acc
-      | Some t -> go (t.tcb_id :: acc) t.ep_next
-    in
-    go [] q.head
-  in
-  let obj_id = function
-    | Any_tcb t -> t.tcb_id
-    | Any_endpoint e -> e.ep_id
-    | Any_notification n -> n.ntfn_id
-    | Any_cnode c -> c.cn_id
-    | Any_untyped u -> u.ut_id
-    | Any_frame f -> f.f_id
-    | Any_page_table pt -> pt.pt_id
-    | Any_page_directory pd -> pd.pd_id
-    | Any_asid_pool p -> p.ap_id
-  in
-  let objs =
-    List.sort (fun a b -> compare (obj_id a) (obj_id b)) k.K.objects
-  in
-  List.iter
-    (fun obj ->
-      match obj with
-      | Any_tcb t ->
-          add "tcb%d prio=%d state=%a restart=%b caller=%s@."
-            t.tcb_id t.priority pp_thread_state t.state t.restart_syscall
-            (match t.caller with Some c -> string_of_int c.tcb_id | None -> "-")
-      | Any_endpoint e ->
-          add "ep%d active=%b kind=%s q=%a abort=%s@." e.ep_id e.ep_active
-            (match e.ep_queue_kind with
-            | Ep_idle -> "idle"
-            | Ep_senders -> "send"
-            | Ep_receivers -> "recv")
-            Fmt.(Dump.list int)
-            (tcb_ids e.ep_queue)
-            (match e.ep_abort with
-            | None -> "-"
-            | Some p -> Fmt.str "badge=%d remaining=%d" p.ab_badge (abort_scan_len e))
-      | Any_notification n ->
-          add "ntfn%d active=%b word=%d@." n.ntfn_id n.ntfn_active n.ntfn_word
-      | Any_cnode c ->
-          add "cnode%d bits=%d@." c.cn_id c.cn_bits;
-          Array.iter
-            (fun s ->
-              if not (cap_is_null s.cap) then
-                add "  %s = %s parent=%s@." (slot_coord s) (cap_str s.cap)
-                  (match s.cdt_parent with
-                  | Some p -> slot_coord p
-                  | None -> "-"))
-            c.cn_slots
-      | Any_untyped u ->
-          add "ut%d size=%d watermark=%d creating=%s@." u.ut_id u.ut_size_bits
-            u.ut_watermark
-            (match u.ut_creating with
-            | None -> "-"
-            | Some cr -> Fmt.str "cursor=%d/%d" cr.cr_cursor (List.length cr.cr_entries))
-      | Any_frame f -> add "frame%d bits=%d cleared=%d@." f.f_id f.f_size_bits f.f_cleared
-      | Any_page_table pt ->
-          add "pt%d mapped_in=%s@." pt.pt_id
-            (match pt.pt_mapped_in with
-            | Some (pd, i) -> Fmt.str "pd%d[%d]" pd.pd_id i
-            | None -> "-");
-          for j = 0 to pt_entries_count - 1 do
-            (match pt.pt_entries.(j) with
-            | Pte_invalid -> ()
-            | Pte_frame f -> add "  pte[%d]=frame%d@." j f.f_id);
-            match pt.pt_shadow.(j) with
-            | Some s -> add "  pts[%d]=%s@." j (slot_coord s)
-            | None -> ()
-          done
-      | Any_page_directory pd ->
-          add "pd%d asid=%s kernel=%b@." pd.pd_id
-            (match pd.pd_asid with Some a -> string_of_int a | None -> "-")
-            pd.pd_kernel_mapped;
-          for i = 0 to kernel_pde_first - 1 do
-            (match pd.pd_entries.(i) with
-            | Pde_invalid | Pde_kernel -> ()
-            | Pde_section f -> add "  pde[%d]=section:frame%d@." i f.f_id
-            | Pde_page_table pt -> add "  pde[%d]=pt%d@." i pt.pt_id);
-            match pd.pd_shadow.(i) with
-            | Some s -> add "  pds[%d]=%s@." i (slot_coord s)
-            | None -> ()
-          done
-      | Any_asid_pool p ->
-          add "asid_pool%d@." p.ap_id;
-          Array.iteri
-            (fun i e ->
-              match e with
-              | Some pd -> add "  asid[%d]=pd%d@." i pd.pd_id
-              | None -> ())
-            p.ap_entries)
-    objs;
-  List.iter
-    (fun s ->
-      if not (cap_is_null s.cap) then
-        add "rootslot[%d] = %s@." s.sl_index (cap_str s.cap))
-    k.K.root_slots;
-  Buffer.contents b
+(* The canonical rendering lives in {!Sel4.Digest} (shared with the
+   schedule explorer and the soak simulator); the campaign keeps its
+   historical name for it. *)
+let digest_of = Sel4.Digest.of_kernel
 
 (* --- one injected run --- *)
 
@@ -691,3 +583,55 @@ let pp_report ppf r =
             Fmt.pf ppf "    timeline of minimal replay:@.%s@." f.f_timeline)
         o.o_failures)
     r.r_ops
+
+(* --- machine-readable report --- *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Fmt.str "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let json_ints l =
+  "[" ^ String.concat ", " (List.map string_of_int l) ^ "]"
+
+(* The envelope (campaign/ok/total_runs + per-unit failure arrays) is
+   shared with {!Explore.to_json}, so CI tooling parses both the same
+   way. *)
+let to_json r =
+  let b = Buffer.create 1024 in
+  let addf fmt = Fmt.kstr (Buffer.add_string b) fmt in
+  addf "{\n";
+  addf "  \"campaign\": \"inject\",\n";
+  addf "  \"seed\": %d,\n" r.r_seed;
+  addf "  \"smoke\": %b,\n" r.r_smoke;
+  addf "  \"ok\": %b,\n" (ok r);
+  addf "  \"total_runs\": %d,\n" r.r_total_runs;
+  addf "  \"ops\": [\n";
+  List.iteri
+    (fun i o ->
+      addf "    {\"name\": \"%s\", \"points\": %d, \"runs\": %d, " (op_name o.o_op)
+        o.o_points o.o_runs;
+      addf "\"max_restarts\": %d, \"failures\": [" o.o_max_restarts;
+      List.iteri
+        (fun j f ->
+          addf "%s\n      {\"variant\": \"%s\", \"schedule\": %s, "
+            (if j > 0 then "," else "")
+            (json_escape f.f_variant) (json_ints f.f_schedule);
+          addf "\"min_schedule\": %s, \"reason\": \"%s\"}" (json_ints f.f_min_schedule)
+            (json_escape f.f_reason))
+        o.o_failures;
+      addf "%s]}%s\n"
+        (if o.o_failures = [] then "" else "\n    ")
+        (if i < List.length r.r_ops - 1 then "," else ""))
+    r.r_ops;
+  addf "  ]\n}\n";
+  Buffer.contents b

@@ -76,6 +76,49 @@ val run_campaign :
 val ok : report -> bool
 val pp_report : report Fmt.t
 
+val to_json : report -> string
+(** Machine-readable campaign report.  The envelope — [campaign], [ok],
+    [total_runs], and per-unit failure arrays — is shared with
+    [Explore.to_json], so CI tooling parses both reports the same way. *)
+
+(** {1 Workloads exposed for the race analyser and schedule explorer}
+
+    The audit mode of [Race] replays these drivers with an access recorder
+    attached, and [Explore] interleaves them with interfering client
+    actions; both reuse the exact workloads the injection campaign
+    validates, so their conclusions transfer. *)
+
+type sizes = {
+  sz_waiters : int;  (** blocked senders queued for deletion *)
+  sz_abort_waiters : int;  (** blocked badged senders *)
+  sz_frame_bits : int;  (** retyped frame size (cleared in chunks) *)
+  sz_ptes : int;  (** small pages mapped through the page table *)
+  sz_sections : int;  (** 1 MiB sections mapped in the directory *)
+}
+
+val sizes : smoke:bool -> sizes
+
+type driver = {
+  d_event : Sel4.Kernel.event;  (** the long-running operation *)
+  d_initiator : Sel4.Ktypes.tcb;  (** thread that issues (and restarts) it *)
+  d_measure : unit -> int;
+      (** progress toward completion; must strictly decrease between
+          consecutive preemptions and reach 0 on completion *)
+}
+
+val setup : Sel4.Boot.env -> sizes -> op -> driver
+(** Populate a freshly booted environment with the operation's workload
+    (parked senders, badged caps, mapped frames, ...) and return its
+    driver.  Raises [Sel4.Boot.Boot_failure] if the setup syscalls fail. *)
+
+val variant_name : Sel4.Build.sched_variant -> string
+
+val variants : base:Sel4.Build.t -> op -> Sel4.Build.t list
+(** The scheduler variants a schedule is differentially replayed under
+    (lazy, Benno, Benno+bitmap), derived from [base] with preemption
+    points forced on — and, for {!Vspace_delete}, the shadow vspace
+    design, the only one with preemptible teardown. *)
+
 (** {1 Pieces exposed for tests} *)
 
 val shrink : fails:(int list -> bool) -> int list -> int list

@@ -23,6 +23,9 @@ type t = {
       (** fault-injection hook: called with the 1-based poll index before
           the pending check; returning [true] asserts an interrupt at
           exactly this poll (install via {!Kernel.set_injection_hook}) *)
+  mutable on_access : (int -> int -> bool -> unit) option;
+      (** access recorder: called with [(addr, bytes, is_write)] for every
+          charged data access (install via {!set_access_hook}) *)
   region_names : string array;
       (** physical-equality memo for {!Layout.code} lookups on the charge
           path; managed by {!exec}/{!branch} *)
@@ -32,6 +35,19 @@ type t = {
 
 val create : ?cpu:Hw.Cpu.t -> Build.t -> t
 val cycles : t -> int
+
+val set_preempt_poll_hook : t -> (int -> bool) option -> unit
+(** Install (or clear, with [None]) the preempt-poll hook.  Raises
+    [Invalid_argument] when a hook is already installed and the new value
+    is [Some _]: hooks do not compose, so silently replacing one would
+    drop another engine's instrumentation. *)
+
+val set_access_hook : t -> (int -> int -> bool -> unit) option -> unit
+(** Install (or clear) the access recorder, called with
+    [(addr, bytes, is_write)] for every charged data access — even with
+    no CPU attached, so footprint audits run at functional-test speed.
+    Raises [Invalid_argument] on double-set, like
+    {!set_preempt_poll_hook}. *)
 
 val emit : t -> Obs.Trace.kind -> unit
 (** Emit a structured trace event into the CPU's attached buffer (no-op

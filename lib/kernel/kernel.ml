@@ -797,10 +797,12 @@ let set_irq_delivery_hook t hook = t.on_irq_deliver <- hook
    Injecting by poll index rather than by cycle count makes a campaign
    schedule reproducible across scheduler variants, whose cycle counts
    differ but whose preemption-point structure does not.  Installation
-   resets the poll counter, so indices are relative to that moment. *)
+   resets the poll counter, so indices are relative to that moment.
+   Installing over a live hook raises [Invalid_argument] (via
+   {!Ctx.set_preempt_poll_hook}): two campaigns sharing one kernel would
+   otherwise silently drop each other's schedules. *)
 let set_injection_hook t hook =
-  t.ctx.Ctx.preempt_polls <- 0;
-  t.ctx.Ctx.on_preempt_poll <-
+  Ctx.set_preempt_poll_hook t.ctx
     (match hook with
     | None -> None
     | Some f ->
@@ -813,7 +815,8 @@ let set_injection_hook t hook =
                  if Ctx.tracing t.ctx then
                    Ctx.emit t.ctx (Obs.Trace.Irq_assert { line = timer_irq });
                  true
-               end))
+               end));
+  t.ctx.Ctx.preempt_polls <- 0
 
 let preempt_polls t = t.ctx.Ctx.preempt_polls
 

@@ -183,7 +183,8 @@ val set_injection_hook : t -> (int -> bool) option -> unit
     [true] asserts the timer interrupt at exactly that poll.  Indices are
     counted by poll, not by cycle, so an injection schedule replays
     identically across scheduler variants.  Installation resets the poll
-    counter. *)
+    counter.  Raises [Invalid_argument] when a hook is already installed
+    and the new value is [Some _] — clear with [None] first. *)
 
 val preempt_polls : t -> int
 (** Preemption-point polls since the injection hook was last installed. *)

@@ -641,9 +641,18 @@ let run_shard ?(worst_n = 0) ?trace ~build ~config ~selection ~scenario ~entries
       match Invariants.check_result k with
       | Ok () -> ()
       | Error vs ->
+          (* Fingerprint the canonical kernel state (Sel4.Digest) so a
+             sampled violation pins down *which* state broke — two runs
+             reporting the same message can be told apart, and a replay
+             reaching the same fingerprint is known to be faithful.
+             Failure-only: passing runs never format a digest, so report
+             bytes are unchanged. *)
+          let state = Digest.to_hex (Digest.string (Sel4.Digest.of_kernel k)) in
           let msgs =
             List.map
-              (fun v -> Fmt.str "%s entry %d: %s" scenario.sc_name !entries_done v)
+              (fun v ->
+                Fmt.str "%s entry %d [state %s]: %s" scenario.sc_name
+                  !entries_done state v)
               vs
           in
           inv := !inv @ msgs;

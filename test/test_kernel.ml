@@ -1537,6 +1537,82 @@ let test_check_result_collects_all () =
       check_bool "cleared reported" true
         (List.exists (starts_with ~prefix:"cleared") ms)
 
+(* --- hook composition safety --- *)
+
+(* The injection hook and the access recorder are both single-slot hooks
+   shared by several analysis clients (inject, race, explore): installing
+   over a live hook must be an error, never a silent replacement. *)
+
+let test_injection_hook_double_set () =
+  let env = B.boot improved in
+  let k = env.B.k in
+  K.set_injection_hook k (Some (fun _ -> false));
+  check_bool "double install rejected" true
+    (try
+       K.set_injection_hook k (Some (fun _ -> true));
+       false
+     with Invalid_argument _ -> true);
+  (* Clearing first makes the slot available again. *)
+  K.set_injection_hook k None;
+  K.set_injection_hook k (Some (fun _ -> false));
+  K.set_injection_hook k None
+
+let test_access_hook_double_set () =
+  let env = B.boot improved in
+  let ctx = K.ctx env.B.k in
+  Sel4.Ctx.set_access_hook ctx (Some (fun _ _ _ -> ()));
+  check_bool "double install rejected" true
+    (try
+       Sel4.Ctx.set_access_hook ctx (Some (fun _ _ _ -> ()));
+       false
+     with Invalid_argument _ -> true);
+  Sel4.Ctx.set_access_hook ctx None;
+  Sel4.Ctx.set_access_hook ctx (Some (fun _ _ _ -> ()));
+  Sel4.Ctx.set_access_hook ctx None
+
+let test_preempt_poll_hook_double_set () =
+  let env = B.boot improved in
+  let ctx = K.ctx env.B.k in
+  Sel4.Ctx.set_preempt_poll_hook ctx (Some (fun _ -> false));
+  check_bool "double install rejected" true
+    (try
+       Sel4.Ctx.set_preempt_poll_hook ctx (Some (fun _ -> false));
+       false
+     with Invalid_argument _ -> true);
+  Sel4.Ctx.set_preempt_poll_hook ctx None
+
+(* --- digest order-insensitivity --- *)
+
+(* The canonical digest must not depend on object-registry order or on
+   hash-table iteration order: it sorts by object id.  Reversing the
+   registry and re-inserting the capability reference counts in a
+   different order must leave the digest byte-identical. *)
+
+let test_digest_order_insensitive () =
+  let env = B.boot improved in
+  let k = env.B.k in
+  let _ep = B.spawn_endpoint env ~dest:10 in
+  let _ntfn = B.spawn_notification env ~dest:11 in
+  let a = B.spawn_thread env ~priority:100 ~dest:12 in
+  let b = B.spawn_thread env ~priority:120 ~dest:13 in
+  B.make_runnable env a;
+  B.make_runnable env b;
+  ignore (as_thread env a (K.Ev_recv { ep = B.cptr 10 }));
+  ignore
+    (as_thread env b
+       (K.Ev_send { ep = B.cptr 10; msg_len = 1; extra_caps = []; blocking = true }));
+  let d1 = Sel4.Digest.of_kernel k in
+  (* Reverse the registry order. *)
+  k.K.objects <- List.rev k.K.objects;
+  (* Re-insert the capability refcounts in reverse order: different
+     bucket chains, same bindings. *)
+  let refs = Hashtbl.fold (fun id n acc -> (id, n) :: acc) k.K.cap_refs [] in
+  Hashtbl.reset k.K.cap_refs;
+  List.iter (fun (id, n) -> Hashtbl.replace k.K.cap_refs id n) (List.rev refs);
+  let d2 = Sel4.Digest.of_kernel k in
+  check_bool "digest is order-insensitive" true (d1 = d2);
+  check_bool "digest is non-trivial" true (String.length d1 > 100)
+
 let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
 
 let () =
@@ -1637,6 +1713,18 @@ let () =
             test_case "cleared" `Quick test_detect_cleared;
             test_case "check_result collects all" `Quick
               test_check_result_collects_all;
+          ] );
+      ( "hooks-and-digest",
+        Alcotest.
+          [
+            test_case "injection hook double-set" `Quick
+              test_injection_hook_double_set;
+            test_case "access hook double-set" `Quick
+              test_access_hook_double_set;
+            test_case "preempt-poll hook double-set" `Quick
+              test_preempt_poll_hook_double_set;
+            test_case "digest order-insensitivity" `Quick
+              test_digest_order_insensitive;
           ] );
       ( "invariant-properties",
         qsuite
