@@ -1,13 +1,19 @@
 (* sel4rt: command-line front end for the response-time toolkit.
 
      sel4rt wcet     --entry syscall --build improved --l2 --pin --path
+     sel4rt analyse  [kernel_entry|syscall|...] --build improved  (JSON)
      sel4rt observe  --entry interrupt --runs 25 --l2
      sel4rt response --build improved --l2
      sel4rt explain  [kernel_entry|syscall|...] --format folded
      sel4rt sim      --smoke --forensics --forensics-out DIR
      sel4rt repro [section ...]        (same sections as bench/main.exe)
+     sel4rt serve    --stdio | --socket PATH
      sel4rt loops
-     sel4rt pins *)
+     sel4rt pins
+
+   Every [--json] path and the serve protocol speak the same unified
+   envelope (Serve.Envelope) over the same typed queries (Serve.Query);
+   the subcommands below are thin clients of that API. *)
 
 open Cmdliner
 
@@ -76,6 +82,44 @@ let pins_of build ~pin =
     }
   end
 
+(* Shared by every JSON subcommand: print the one-line envelope and map
+   a non-ok status onto a non-zero exit. *)
+let emit_envelope (line, status) =
+  print_string line;
+  if status <> Serve.Envelope.Ok then exit 1
+
+let target_conv =
+  let parse s =
+    match Serve.Query.target_of_string s with
+    | Ok t -> Ok t
+    | Error msg -> Error (`Msg msg)
+  in
+  Arg.conv (parse, fun ppf t -> Fmt.string ppf (Serve.Query.target_name t))
+
+let target_arg =
+  Arg.(
+    value
+    & pos 0 target_conv Serve.Query.Kernel_entry
+    & info [] ~docv:"TARGET"
+        ~doc:
+          "What to analyse: kernel_entry (the full interrupt-response \
+           bound: syscall path + interrupt path) or a single entry point — \
+           syscall, interrupt, fault, undefined.")
+
+let analyse_cmd =
+  let run target build l2 pin =
+    emit_envelope
+      (Serve.Query.respond (Serve.Query.Analyse { target; build; l2; pin }))
+  in
+  Cmd.v
+    (Cmd.info "analyse"
+       ~doc:
+         "Compute a WCET or interrupt-response bound and emit it as one \
+          envelope line of JSON — the machine-readable twin of $(b,wcet) \
+          and $(b,response), and exactly what one $(b,serve) analyse query \
+          returns.  Warm disk-cache runs produce byte-identical payloads.")
+    Term.(const run $ target_arg $ build_arg $ l2_arg $ pin_arg)
+
 let wcet_cmd =
   let run entry build l2 pin path =
     let config = config_of ~l2 ~pin in
@@ -143,48 +187,62 @@ let response_cmd =
 
 let explain_cmd =
   let run func build l2 pin format out =
-    let config = config_of ~l2 ~pin in
-    let pins = pins_of build ~pin in
-    let ctx = Sel4_rt.Analysis_ctx.make ~config ~pins ~build () in
-    let profile =
-      match func with
-      | "kernel_entry" | "response" ->
-          Sel4_rt.Response_time.interrupt_response_profile ctx
-      | "syscall" ->
-          Sel4_rt.Response_time.profile ctx Sel4_rt.Kernel_model.Syscall
-      | "interrupt" | "irq" ->
-          Sel4_rt.Response_time.profile ctx Sel4_rt.Kernel_model.Interrupt
-      | "fault" | "pagefault" ->
-          Sel4_rt.Response_time.profile ctx Sel4_rt.Kernel_model.Page_fault
-      | "undefined" | "undef" ->
-          Sel4_rt.Response_time.profile ctx
-            Sel4_rt.Kernel_model.Undefined_instruction
-      | s ->
+    let target =
+      match Serve.Query.target_of_string func with
+      | Ok t -> t
+      | Error _ ->
           Fmt.epr
             "unknown function %S (kernel_entry, syscall, interrupt, fault, \
              undefined)@."
-            s;
+            func;
           exit 1
     in
-    if not (Obs.Bound_profile.exact profile) then begin
-      Fmt.epr "internal error: decomposition does not sum to the bound@.";
-      exit 2
-    end;
-    let rendered =
-      match format with
-      | `Text -> Fmt.str "%a" Obs.Bound_profile.pp profile
-      | `Folded -> Obs.Bound_profile.to_folded profile
-      | `Json -> Obs.Bound_profile.to_json profile ^ "\n"
-    in
-    match out with
-    | None -> print_string rendered
-    | Some path ->
-        let oc = open_out path in
-        output_string oc rendered;
-        close_out oc;
-        Fmt.pr "wrote %s (%d rows, bound %d cycles)@." path
-          (List.length profile.Obs.Bound_profile.p_rows)
-          (Obs.Bound_profile.total profile)
+    match format with
+    | `Json ->
+        (* The machine-readable path is one serve query: profile payload
+           inside the envelope, non-exact decomposition = fail status. *)
+        let line, status =
+          Serve.Query.respond (Serve.Query.Explain { target; build; l2; pin })
+        in
+        (match out with
+        | None -> print_string line
+        | Some path ->
+            let oc = open_out path in
+            output_string oc line;
+            close_out oc;
+            Fmt.pr "wrote %s@." path);
+        if status <> Serve.Envelope.Ok then begin
+          Fmt.epr "internal error: decomposition does not sum to the bound@.";
+          exit 2
+        end
+    | (`Text | `Folded) as format -> (
+        let config = config_of ~l2 ~pin in
+        let pins = pins_of build ~pin in
+        let ctx = Sel4_rt.Analysis_ctx.make ~config ~pins ~build () in
+        let profile =
+          match target with
+          | Serve.Query.Kernel_entry ->
+              Sel4_rt.Response_time.interrupt_response_profile ctx
+          | Serve.Query.Entry e -> Sel4_rt.Response_time.profile ctx e
+        in
+        if not (Obs.Bound_profile.exact profile) then begin
+          Fmt.epr "internal error: decomposition does not sum to the bound@.";
+          exit 2
+        end;
+        let rendered =
+          match format with
+          | `Text -> Fmt.str "%a" Obs.Bound_profile.pp profile
+          | `Folded -> Obs.Bound_profile.to_folded profile
+        in
+        match out with
+        | None -> print_string rendered
+        | Some path ->
+            let oc = open_out path in
+            output_string oc rendered;
+            close_out oc;
+            Fmt.pr "wrote %s (%d rows, bound %d cycles)@." path
+              (List.length profile.Obs.Bound_profile.p_rows)
+              (Obs.Bound_profile.total profile))
   in
   let func_arg =
     Arg.(
@@ -504,12 +562,9 @@ let metrics_cmd =
       Sel4_rt.Kernel_model.entry_points;
     ignore
       (Sel4_rt.Response_time.observed ~runs ctx Sel4_rt.Kernel_model.Interrupt);
-    let snap = Obs.Metrics.snapshot () in
-    if json then begin
-      print_string (Obs.Metrics.to_json snap);
-      print_newline ()
-    end
-    else Fmt.pr "%a@." (fun ppf -> Obs.Metrics.pp ppf) snap
+    if json then
+      emit_envelope (Serve.Query.respond Serve.Query.Metrics)
+    else Fmt.pr "%a@." (fun ppf -> Obs.Metrics.pp ppf) (Obs.Metrics.snapshot ())
   in
   let runs_arg =
     Arg.(
@@ -532,12 +587,16 @@ let metrics_cmd =
 
 let inject_cmd =
   let run smoke seed l2 json =
-    let config = config_of ~l2 ~pin:false in
-    let ctx = Sel4_rt.Analysis_ctx.make ~config () in
-    let report = Inject.run_campaign ~smoke ~seed ctx in
-    if json then print_string (Inject.to_json report)
-    else Fmt.pr "%a@." Inject.pp_report report;
-    if not (Inject.ok report) then exit 1
+    if json then
+      emit_envelope
+        (Serve.Query.respond (Serve.Query.Inject { smoke; seed; l2 }))
+    else begin
+      let config = config_of ~l2 ~pin:false in
+      let ctx = Sel4_rt.Analysis_ctx.make ~config () in
+      let report = Inject.run_campaign ~smoke ~seed ctx in
+      Fmt.pr "%a@." Inject.pp_report report;
+      if not (Inject.ok report) then exit 1
+    end
   in
   let smoke_arg =
     Arg.(
@@ -573,15 +632,15 @@ let inject_cmd =
 
 let race_cmd =
   let run smoke json =
-    let ctx = Sel4_rt.Analysis_ctx.default in
-    let report = Race.audit ~smoke ctx in
-    if json then print_string (Race.to_json report)
+    if json then
+      emit_envelope (Serve.Query.respond (Serve.Query.Race { smoke }))
     else begin
+      let report = Race.audit ~smoke Sel4_rt.Analysis_ctx.default in
       Fmt.pr "%a@." Race.pp_matrix ();
       Fmt.pr "%a@." Race.pp_og ();
-      Fmt.pr "%a@." Race.pp_audit report
-    end;
-    if not (Race.audit_ok report) then exit 1
+      Fmt.pr "%a@." Race.pp_audit report;
+      if not (Race.audit_ok report) then exit 1
+    end
   in
   let smoke_arg =
     Arg.(
@@ -610,11 +669,13 @@ let race_cmd =
 
 let explore_cmd =
   let run smoke depth json =
-    let ctx = Sel4_rt.Analysis_ctx.default in
-    let report = Explore.run ~smoke ?depth ctx in
-    if json then print_string (Explore.to_json report)
-    else Fmt.pr "%a@." Explore.pp_report report;
-    if not (Explore.ok report) then exit 1
+    if json then
+      emit_envelope (Serve.Query.respond (Serve.Query.Explore { smoke; depth }))
+    else begin
+      let report = Explore.run ~smoke ?depth Sel4_rt.Analysis_ctx.default in
+      Fmt.pr "%a@." Explore.pp_report report;
+      if not (Explore.ok report) then exit 1
+    end
   in
   let smoke_arg =
     Arg.(
@@ -775,6 +836,44 @@ let sim_cmd =
       const run $ smoke_arg $ seed_arg $ entries_arg $ only_arg $ inv_every_arg
       $ collect_arg $ forensics_arg $ forensics_out_arg)
 
+let serve_cmd =
+  let run socket stdio =
+    ignore stdio;
+    match socket with
+    | Some path ->
+        Fmt.epr "sel4rt serve: listening on %s@." path;
+        Serve.Server.serve_socket path
+    | None -> exit (Serve.Server.serve_stdio ())
+  in
+  let socket_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:
+            "Listen on a Unix-domain socket at PATH (one thread per \
+             connection) instead of serving stdin/stdout.")
+  in
+  let stdio_arg =
+    Arg.(
+      value & flag
+      & info [ "stdio" ]
+          ~doc:
+            "Serve newline-delimited JSON queries on stdin/stdout until EOF \
+             (the default).  Exits non-zero if any query line was \
+             malformed.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Long-lived analysis service: accept newline-delimited JSON queries \
+          (analyse, explain, metrics, sim, inject, race, explore) and answer \
+          each with one envelope line.  Queries share the in-process \
+          analysis caches, the Domain pool and the on-disk \
+          content-addressed result cache, so repeated bounds come back \
+          without a single ILP solve.")
+    Term.(const run $ socket_arg $ stdio_arg)
+
 let pins_cmd =
   let run build =
     let s = Sel4_rt.Pinning.select build in
@@ -789,6 +888,9 @@ let pins_cmd =
     Term.(const run $ build_arg)
 
 let () =
+  (* Every subcommand shares the persistent result cache (set
+     SEL4RT_NO_DISK_CACHE to opt out, SEL4RT_CACHE_DIR to relocate). *)
+  Serve.Disk_cache.install ();
   let info =
     Cmd.info "sel4rt" ~version:"1.0.0"
       ~doc:
@@ -800,6 +902,8 @@ let () =
        (Cmd.group info
           [
             wcet_cmd;
+            analyse_cmd;
+            serve_cmd;
             observe_cmd;
             response_cmd;
             explain_cmd;

@@ -46,9 +46,15 @@ let prefixes : (prefix_key, Wcet.Ipet.prepared cell) Hashtbl.t =
 let results : (result_key, Wcet.Ipet.result cell) Hashtbl.t = Hashtbl.create 64
 
 (* Counters live in the process-wide metrics registry, so `sel4rt metrics`
-   and the bench --json report read the same numbers as {!stats}. *)
+   and the bench --json report read the same numbers as {!stats}.  A
+   result-cache lookup resolves to exactly one of: an in-memory hit, a
+   persistent-store hit (a memory miss satisfied from disk with no ILP
+   solve), or a miss (a cold computation) — the three counters partition
+   the lookups, so per-section bench stats cannot double-count a disk hit
+   as both a hit and a miss. *)
 let result_hits = Obs.Metrics.counter "analysis_cache.result_hits"
 let result_misses = Obs.Metrics.counter "analysis_cache.result_misses"
+let result_disk_hits = Obs.Metrics.counter "analysis_cache.disk_hits"
 let prefix_hits = Obs.Metrics.counter "analysis_cache.prefix_hits"
 let prefix_misses = Obs.Metrics.counter "analysis_cache.prefix_misses"
 
@@ -59,6 +65,7 @@ let set_enabled b = Atomic.set enabled b
 type stats = {
   hits : int;
   misses : int;
+  disk_hits : int;
   prefix_hits : int;
   prefix_misses : int;
 }
@@ -67,17 +74,19 @@ let stats () =
   {
     hits = Obs.Metrics.value result_hits;
     misses = Obs.Metrics.value result_misses;
+    disk_hits = Obs.Metrics.value result_disk_hits;
     prefix_hits = Obs.Metrics.value prefix_hits;
     prefix_misses = Obs.Metrics.value prefix_misses;
   }
 
-let hit_rate { hits; misses; _ } =
-  if hits + misses = 0 then 0.0
-  else float_of_int hits /. float_of_int (hits + misses)
+let hit_rate { hits; misses; disk_hits; _ } =
+  let total = hits + disk_hits + misses in
+  if total = 0 then 0.0 else float_of_int (hits + disk_hits) /. float_of_int total
 
 let reset_stats () =
   Obs.Metrics.set_counter result_hits 0;
   Obs.Metrics.set_counter result_misses 0;
+  Obs.Metrics.set_counter result_disk_hits 0;
   Obs.Metrics.set_counter prefix_hits 0;
   Obs.Metrics.set_counter prefix_misses 0
 
@@ -97,11 +106,14 @@ let reset () =
 
 (* Compute-once memoisation: the first requester computes, everyone else
    waits for the settled cell.  Cached exceptions are re-raised (the
-   pipeline is deterministic, so a failure is as cacheable as a result). *)
-let memo tbl hit miss key compute =
+   pipeline is deterministic, so a failure is as cacheable as a result).
+   The miss counter is the compute closure's responsibility: the result
+   cache attributes a memory miss to either the persistent store or a
+   cold computation, which only the closure can distinguish. *)
+let memo tbl hit key compute =
   let settle = function Ok v -> v | Error e -> raise e in
-  (* Count each logical lookup once, as a hit or a miss, whichever state it
-     first observes (waiting on an in-flight key counts as a hit). *)
+  (* Count each logical lookup once, whichever state it first observes
+     (waiting on an in-flight key counts as a hit). *)
   let counted = ref false in
   let count c =
     if not !counted then begin
@@ -123,7 +135,7 @@ let memo tbl hit miss key compute =
            settling and this wakeup; [loop] then recomputes it. *)
         loop ()
     | None ->
-        count miss;
+        counted := true;
         Hashtbl.replace tbl key Pending;
         Mutex.unlock lock;
         let out = try Ok (compute ()) with e -> Error e in
@@ -136,10 +148,119 @@ let memo tbl hit miss key compute =
   loop ()
 
 let prepared key =
-  memo prefixes prefix_hits prefix_misses key (fun () ->
+  memo prefixes prefix_hits key (fun () ->
+      Obs.Metrics.incr prefix_misses;
       Wcet.Ipet.prepare ~config:key.pk_config ~pinned_code:key.pk_pinned_code
         ~pinned_data:key.pk_pinned_data
         (Kernel_model.spec ~params:key.pk_params key.pk_build key.pk_entry))
+
+(* --- persistence hooks (installed by Serve.Disk_cache) --- *)
+
+type persist = {
+  p_load : string -> Wcet.Ipet.persisted option;
+      (** canonical key -> stored record, [None] on miss or corruption *)
+  p_store : string -> Wcet.Ipet.persisted -> unit;
+}
+
+let persist_store : persist option Atomic.t = Atomic.make None
+let set_persist p = Atomic.set persist_store p
+
+(* Canonical text rendering of a result key, in the style of
+   {!Sel4.Digest}: every field named, one line per component, no
+   dependence on hash-table or marshalling order.  The records are
+   destructured field by field so that adding a field to any component
+   type fails compilation here rather than silently aliasing distinct
+   configurations to one cache entry. *)
+let render_key (rk : result_key) =
+  let b = Buffer.create 512 in
+  let add fmt = Fmt.kstr (Buffer.add_string b) fmt in
+  let ints l = String.concat "," (List.map string_of_int l) in
+  let {
+    pk_build;
+    pk_entry;
+    pk_params;
+    pk_config;
+    pk_pinned_code;
+    pk_pinned_data;
+  } =
+    rk.rk_prefix
+  in
+  let { Sel4.Build.sched; vspace; preemption_points; preempt_chunk } =
+    pk_build
+  in
+  add "build sched=%s vspace=%s preempt=%b chunk=%d\n"
+    (match sched with
+    | Sel4.Build.Lazy -> "lazy"
+    | Sel4.Build.Benno -> "benno"
+    | Sel4.Build.Benno_bitmap -> "benno_bitmap")
+    (match vspace with
+    | Sel4.Build.Asid_table -> "asid_table"
+    | Sel4.Build.Shadow_tables -> "shadow_tables")
+    preemption_points preempt_chunk;
+  add "entry %s\n" (Kernel_model.entry_name pk_entry);
+  let {
+    Kernel_model.decode_depth;
+    msg_words;
+    extra_caps;
+    max_frame_bits;
+    max_ep_waiters;
+    max_parked;
+    preemptible_call;
+  } =
+    pk_params
+  in
+  add
+    "params depth=%d msg=%d caps=%d frame_bits=%d waiters=%d parked=%d \
+     preemptible_call=%b\n"
+    decode_depth msg_words extra_caps max_frame_bits max_ep_waiters max_parked
+    preemptible_call;
+  let {
+    Hw.Config.clock_mhz;
+    replacement;
+    l1_line;
+    l1_sets;
+    l1_ways;
+    l1_hit_cycles;
+    l2_enabled;
+    l2_line;
+    l2_sets;
+    l2_ways;
+    l2_hit_cycles;
+    mem_cycles_l2_off;
+    mem_cycles_l2_on;
+    writeback_fraction;
+    branch_predictor;
+    branch_cost_static;
+    branch_cost_predicted;
+    branch_cost_mispredicted;
+    locked_ways_i;
+    locked_ways_d;
+    l2_locked_base;
+    l2_locked_bytes;
+  } =
+    pk_config
+  in
+  add "config clock=%h repl=%s l1=%d/%d/%d+%d l2=%b/%d/%d/%d+%d\n" clock_mhz
+    (match replacement with
+    | Hw.Config.Lru -> "lru"
+    | Hw.Config.Round_robin -> "rr")
+    l1_line l1_sets l1_ways l1_hit_cycles l2_enabled l2_line l2_sets l2_ways
+    l2_hit_cycles;
+  add
+    "config mem=%d/%d wb=%d bp=%b/%d/%d/%d lock_ways=%d/%d l2lock=%d+%d\n"
+    mem_cycles_l2_off mem_cycles_l2_on writeback_fraction branch_predictor
+    branch_cost_static branch_cost_predicted branch_cost_mispredicted
+    locked_ways_i locked_ways_d l2_locked_base l2_locked_bytes;
+  add "pins code=[%s] data=[%s]\n" (ints pk_pinned_code) (ints pk_pinned_data);
+  add "variant constraints=%b sources=%s\n" rk.rk_use_constraints
+    (match rk.rk_sources with
+    | `All -> "all"
+    | `Manual -> "manual"
+    | `Derived -> "derived");
+  List.iter
+    (fun (func, block, count) -> add "forced %s/%s=%d\n" func block count)
+    rk.rk_forced;
+  Buffer.contents b
 
 (* A cached solution of a *more* constrained sibling (same prefix and
    forced counts) remains feasible for a less constrained variant and
@@ -189,16 +310,39 @@ let computed ?(params = Kernel_model.default_params) ?(pinned_code = [])
         rk_forced = forced;
       }
     in
-    memo results result_hits result_misses rkey (fun () ->
+    memo results result_hits rkey (fun () ->
         let prefix = prepared pkey in
-        let warm_start =
-          Mutex.lock lock;
-          let w = warm_start_for rkey in
-          Mutex.unlock lock;
-          w
+        let solve () =
+          Obs.Metrics.incr result_misses;
+          let warm_start =
+            Mutex.lock lock;
+            let w = warm_start_for rkey in
+            Mutex.unlock lock;
+            w
+          in
+          Wcet.Ipet.analyse_prepared ~use_constraints ~sources ~forced
+            ?warm_start prefix
         in
-        Wcet.Ipet.analyse_prepared ~use_constraints ~sources ~forced
-          ?warm_start prefix)
+        match Atomic.get persist_store with
+        | None -> solve ()
+        | Some store -> (
+            let key = render_key rkey in
+            match store.p_load key with
+            | Some stored -> (
+                (* A shape mismatch means a stale or colliding entry:
+                   recompute (and overwrite it) rather than crash. *)
+                match Wcet.Ipet.rehydrate prefix stored with
+                | r ->
+                    Obs.Metrics.incr result_disk_hits;
+                    r
+                | exception Invalid_argument _ ->
+                    let r = solve () in
+                    store.p_store key (Wcet.Ipet.to_persisted r);
+                    r)
+            | None ->
+                let r = solve () in
+                store.p_store key (Wcet.Ipet.to_persisted r);
+                r))
   end
 
 let computed_cycles ?params ?pinned_code ?pinned_data ?use_constraints ?sources

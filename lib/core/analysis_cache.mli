@@ -41,15 +41,36 @@ val computed_cycles :
   int
 
 type stats = {
-  hits : int;  (** result-cache hits (including waits on in-flight keys) *)
-  misses : int;  (** result-cache misses (fresh computations) *)
+  hits : int;  (** in-memory result hits (including waits on in-flight keys) *)
+  misses : int;  (** cold computations (missed memory and the store) *)
+  disk_hits : int;
+      (** memory misses satisfied from the persistent store with zero ILP
+          solves.  [hits], [disk_hits] and [misses] partition the result
+          lookups — a persistent hit is never also counted as a miss. *)
   prefix_hits : int;
   prefix_misses : int;
 }
 
 val stats : unit -> stats
+
 val hit_rate : stats -> float
-(** [hits / (hits + misses)], 0 if no lookups. *)
+(** [(hits + disk_hits) / (hits + disk_hits + misses)], 0 if no lookups. *)
+
+type persist = {
+  p_load : string -> Wcet.Ipet.persisted option;
+      (** canonical key -> stored record; [None] on miss or corruption *)
+  p_store : string -> Wcet.Ipet.persisted -> unit;
+}
+(** A persistent result store keyed by the canonical text rendering of the
+    full analysis key (context digest convention: every field named,
+    deterministic order).  Loaded records are {!Wcet.Ipet.rehydrate}d over
+    the freshly prepared prefix, so a store hit performs no ILP build or
+    solve; a missing or rejected record falls back to computing (and
+    re-storing).  Implementations must be safe to call from any domain. *)
+
+val set_persist : persist option -> unit
+(** Install (or remove) the persistent store behind the memo tables.
+    Installed by [Serve.Disk_cache.install]; [None] by default. *)
 
 val reset : unit -> unit
 (** Drop settled entries and zero the counters. *)

@@ -5,8 +5,8 @@
     [?params ?pins ~config build] label sprawl.
 
     {!Response_time}, {!Workloads}, {!Experiments} and [Inject] are all
-    expressed in terms of it; the former optional-label signatures remain
-    available as [*_legacy] deprecated wrappers for one release. *)
+    expressed in terms of it; the deprecated optional-label wrappers that
+    bridged one release have been removed. *)
 
 type pins = { code : int list; data : int list }
 (** Cache lines locked into one L1 way (Section 4 of the paper):

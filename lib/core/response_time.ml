@@ -4,8 +4,7 @@
    time, which is the sum of the longest kernel operation (the system-call
    path) and the interrupt path (Section 6).
 
-   All drivers take an {!Analysis_ctx.t}; the former optional-label
-   signatures survive as deprecated [*_legacy] wrappers. *)
+   All drivers take an {!Analysis_ctx.t}. *)
 
 type pins = Analysis_ctx.pins = { code : int list; data : int list }
 
@@ -57,23 +56,3 @@ let interrupt_response_profile ctx =
     [ profile ctx Kernel_model.Syscall; profile ctx Kernel_model.Interrupt ]
 
 let us config cycles = Hw.Config.cycles_to_us config cycles
-
-(* --- deprecated label-style wrappers --- *)
-
-let computed_legacy ?params ?pins ~config build entry =
-  computed (Analysis_ctx.make ?params ?pins ~config ~build ()) entry
-
-let computed_cycles_legacy ?params ?pins ~config build entry =
-  computed_cycles (Analysis_ctx.make ?params ?pins ~config ~build ()) entry
-
-let computed_for_path_legacy ?params ~config build entry =
-  computed_for_path (Analysis_ctx.make ?params ~config ~build ()) entry
-
-let observed_legacy ?runs ?params ~config build entry =
-  observed ?runs (Analysis_ctx.make ?params ~config ~build ()) entry
-
-let observed_traced_legacy ?runs ?params ~config build entry =
-  observed_traced ?runs (Analysis_ctx.make ?params ~config ~build ()) entry
-
-let interrupt_response_bound_legacy ?params ?pins ~config build =
-  interrupt_response_bound (Analysis_ctx.make ?params ?pins ~config ~build ())

@@ -5,8 +5,7 @@
     response = WCET of the longest kernel operation (the system-call
     path) + WCET of the interrupt path.
 
-    All drivers take an {!Analysis_ctx.t}; the optional-label signatures
-    of earlier releases survive as deprecated [*_legacy] wrappers. *)
+    All drivers take an {!Analysis_ctx.t}. *)
 
 type pins = Analysis_ctx.pins = { code : int list; data : int list }
 (** Re-export of {!Analysis_ctx.pins} under its historical name. *)
@@ -44,57 +43,3 @@ val interrupt_response_profile : Analysis_ctx.t -> Obs.Bound_profile.t
     {!interrupt_response_bound}. *)
 
 val us : Hw.Config.t -> int -> float
-
-(** {1 Deprecated wrappers} *)
-
-val computed_legacy :
-  ?params:Kernel_model.params ->
-  ?pins:pins ->
-  config:Hw.Config.t ->
-  Sel4.Build.t ->
-  Kernel_model.entry_point ->
-  Wcet.Ipet.result
-[@@deprecated "use Response_time.computed with an Analysis_ctx.t"]
-
-val computed_cycles_legacy :
-  ?params:Kernel_model.params ->
-  ?pins:pins ->
-  config:Hw.Config.t ->
-  Sel4.Build.t ->
-  Kernel_model.entry_point ->
-  int
-[@@deprecated "use Response_time.computed_cycles with an Analysis_ctx.t"]
-
-val computed_for_path_legacy :
-  ?params:Kernel_model.params ->
-  config:Hw.Config.t ->
-  Sel4.Build.t ->
-  Kernel_model.entry_point ->
-  int
-[@@deprecated "use Response_time.computed_for_path with an Analysis_ctx.t"]
-
-val observed_legacy :
-  ?runs:int ->
-  ?params:Kernel_model.params ->
-  config:Hw.Config.t ->
-  Sel4.Build.t ->
-  Kernel_model.entry_point ->
-  int
-[@@deprecated "use Response_time.observed with an Analysis_ctx.t"]
-
-val observed_traced_legacy :
-  ?runs:int ->
-  ?params:Kernel_model.params ->
-  config:Hw.Config.t ->
-  Sel4.Build.t ->
-  Kernel_model.entry_point ->
-  int * Workloads.provenance
-[@@deprecated "use Response_time.observed_traced with an Analysis_ctx.t"]
-
-val interrupt_response_bound_legacy :
-  ?params:Kernel_model.params ->
-  ?pins:pins ->
-  config:Hw.Config.t ->
-  Sel4.Build.t ->
-  int
-[@@deprecated "use Response_time.interrupt_response_bound with an Analysis_ctx.t"]

@@ -333,17 +333,3 @@ let observed_traced ?(runs = 25) ctx entry =
     end
   done;
   (!worst, !prov)
-
-(* --- deprecated label-style wrappers --- *)
-
-let scenario_legacy ?params ~config build entry =
-  scenario (Analysis_ctx.make ?params ~config ~build ()) entry
-
-let observed_legacy ?runs ?params ~config build entry =
-  observed ?runs (Analysis_ctx.make ?params ~config ~build ()) entry
-
-let run_traced_legacy ?params ~config ~buf ~seed build entry =
-  run_traced ~buf ~seed (Analysis_ctx.make ?params ~config ~build ()) entry
-
-let observed_traced_legacy ?runs ?params ~config build entry =
-  observed_traced ?runs (Analysis_ctx.make ?params ~config ~build ()) entry

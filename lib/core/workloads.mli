@@ -3,8 +3,7 @@
     before each measured entry; the observed worst case is the maximum
     over several pollution seeds.
 
-    Drivers take an {!Analysis_ctx.t}; the optional-label signatures of
-    earlier releases survive as deprecated [*_legacy] wrappers. *)
+    Drivers take an {!Analysis_ctx.t}. *)
 
 type scenario = {
   env : Sel4.Boot.env;
@@ -70,41 +69,3 @@ val observed_traced :
 (** Same maximum as {!observed} (tracing never charges cycles), plus the
     latency attribution of the worst run.
     @raise Scenario_failed if the measured event fails outright. *)
-
-(** {1 Deprecated wrappers} *)
-
-val scenario_legacy :
-  ?params:Kernel_model.params ->
-  config:Hw.Config.t ->
-  Sel4.Build.t ->
-  Kernel_model.entry_point ->
-  scenario
-[@@deprecated "use Workloads.scenario with an Analysis_ctx.t"]
-
-val observed_legacy :
-  ?runs:int ->
-  ?params:Kernel_model.params ->
-  config:Hw.Config.t ->
-  Sel4.Build.t ->
-  Kernel_model.entry_point ->
-  int
-[@@deprecated "use Workloads.observed with an Analysis_ctx.t"]
-
-val run_traced_legacy :
-  ?params:Kernel_model.params ->
-  config:Hw.Config.t ->
-  buf:Obs.Trace.t ->
-  seed:int ->
-  Sel4.Build.t ->
-  Kernel_model.entry_point ->
-  Sel4.Kernel.outcome * int
-[@@deprecated "use Workloads.run_traced with an Analysis_ctx.t"]
-
-val observed_traced_legacy :
-  ?runs:int ->
-  ?params:Kernel_model.params ->
-  config:Hw.Config.t ->
-  Sel4.Build.t ->
-  Kernel_model.entry_point ->
-  int * provenance
-[@@deprecated "use Workloads.observed_traced with an Analysis_ctx.t"]

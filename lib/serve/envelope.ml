@@ -1,0 +1,46 @@
+(* The unified response envelope (see envelope.mli). *)
+
+type status = Ok | Fail | Error
+
+let schema_version = 1
+
+let status_to_string = function
+  | Ok -> "ok"
+  | Fail -> "fail"
+  | Error -> "error"
+
+let wrap ?id ?(compact = true) ~status ~elapsed_s ~payload () =
+  let status, payload =
+    if not compact then (status, payload)
+    else
+      match Json.parse payload with
+      | (exception _) | Error _ ->
+          (* Never emit a broken document: a payload that is not valid
+             JSON becomes an error envelope carrying the head of the
+             offending text. *)
+          let head =
+            if String.length payload > 120 then String.sub payload 0 120
+            else payload
+          in
+          ( Error,
+            Fmt.str "{\"error\":\"invalid payload JSON: %s\"}"
+              (Json.escape head) )
+      | Result.Ok v -> (status, Json.to_compact v)
+  in
+  let b = Buffer.create (String.length payload + 128) in
+  Buffer.add_string b (Fmt.str "{\"schema_version\": %d" schema_version);
+  (match id with
+  | Some id -> Buffer.add_string b (Fmt.str ", \"id\": \"%s\"" (Json.escape id))
+  | None -> ());
+  Buffer.add_string b
+    (Fmt.str ", \"status\": \"%s\", \"elapsed_s\": %.6f, \"payload\": "
+       (status_to_string status)
+       elapsed_s);
+  Buffer.add_string b payload;
+  Buffer.add_string b "}\n";
+  Buffer.contents b
+
+let error ?id msg =
+  wrap ?id ~status:Error ~elapsed_s:0.0
+    ~payload:(Fmt.str "{\"error\":\"%s\"}" (Json.escape msg))
+    ()

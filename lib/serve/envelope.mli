@@ -1,0 +1,50 @@
+(** The unified machine-readable envelope.
+
+    Every JSON document this repository emits — serve responses, the
+    [--json] output of [sel4rt analyse]/[explain]/[inject]/[race]/
+    [explore]/[metrics], and [BENCH_wcet.json] — is one envelope object:
+
+    {v
+    { "schema_version": 1,
+      "id": <echoed request id, when one was given>,
+      "status": "ok" | "fail" | "error",
+      "elapsed_s": <wall-clock seconds spent producing the payload>,
+      "payload": <command-specific JSON> }
+    v}
+
+    [status] is ["ok"] when the command ran and its gate (if any) passed,
+    ["fail"] when it ran but a gate failed (an inject/explore oracle, a
+    sim latency bound, a non-exact decomposition), and ["error"] when the
+    request itself was malformed or the command raised; an ["error"]
+    payload is [{"error": <message>}].  [elapsed_s] is the only
+    wall-clock-dependent field — payloads are deterministic for
+    deterministic commands, which is what the warm-cache byte-identity
+    gate checks. *)
+
+type status = Ok | Fail | Error
+
+val schema_version : int
+(** 1. Bump when the envelope shape (not a payload) changes. *)
+
+val status_to_string : status -> string
+(** ["ok"], ["fail"], ["error"]. *)
+
+val wrap :
+  ?id:string ->
+  ?compact:bool ->
+  status:status ->
+  elapsed_s:float ->
+  payload:string ->
+  unit ->
+  string
+(** Wrap a payload (which must already be valid JSON) in the envelope.
+    With [compact:true] (default) the payload is re-emitted through
+    {!Json.to_compact} so the whole envelope is one line, terminated by a
+    newline — the serve protocol's framing; a payload that fails to parse
+    is embedded as an error payload instead, never emitted broken.  With
+    [compact:false] the payload text is embedded verbatim (multi-line
+    documents such as [BENCH_wcet.json] keep their human-readable
+    layout). *)
+
+val error : ?id:string -> string -> string
+(** [wrap] of an ["error"] envelope around [{"error": msg}]. *)

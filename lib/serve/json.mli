@@ -1,0 +1,40 @@
+(** Minimal JSON: a value type, a strict recursive-descent parser and a
+    compact single-line printer.
+
+    Exists so the serve protocol (newline-delimited JSON queries and
+    responses) and the envelope tests need no external dependency.  The
+    parser accepts the full JSON grammar (escapes, exponents, nested
+    structures); object member order is preserved.  Numbers are [float]s,
+    as in JavaScript — every integer this repository emits fits a double
+    exactly. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val parse : string -> (t, string) result
+(** Parse one JSON document.  Trailing whitespace is allowed, trailing
+    garbage is an error; errors carry a character offset. *)
+
+val to_compact : t -> string
+(** Single-line rendering with no insignificant whitespace — safe for a
+    newline-delimited protocol.  Integral numbers print without a decimal
+    point; other floats with up to 17 significant digits (round-trip). *)
+
+val escape : string -> string
+(** JSON string-body escaping (no surrounding quotes). *)
+
+(** Accessors; [None] on shape mismatch. *)
+
+val member : string -> t -> t option
+(** Field of an object ([None] for missing fields and non-objects). *)
+
+val to_string_opt : t -> string option
+val to_float_opt : t -> float option
+val to_int_opt : t -> int option
+val to_bool_opt : t -> bool option
+val to_list_opt : t -> t list option

@@ -382,6 +382,60 @@ let analyse ~config ?(pinned_code = []) ?(pinned_data = [])
     ?(forced = ([] : (string * string * int) list)) (spec : spec) =
   analyse_prepared ~forced (prepare ~config ~pinned_code ~pinned_data spec)
 
+(* --- persistence: the marshal-safe projection of a result --- *)
+
+type persisted = {
+  ps_wcet : int;
+  ps_block_counts : int array;
+  ps_ilp_vars : int;
+  ps_ilp_constraints : int;
+  ps_bb_nodes : int;
+  ps_lp_solves : int;
+  ps_elapsed_s : float;
+  ps_ilp_solution : int array;
+  ps_edge_counts : ((int * int) * int) list;
+  ps_binding_constraints : (string * int) list;
+}
+
+let to_persisted (r : result) =
+  {
+    ps_wcet = r.wcet;
+    ps_block_counts = r.block_counts;
+    ps_ilp_vars = r.ilp_vars;
+    ps_ilp_constraints = r.ilp_constraints;
+    ps_bb_nodes = r.bb_nodes;
+    ps_lp_solves = r.lp_solves;
+    ps_elapsed_s = r.elapsed_s;
+    ps_ilp_solution = r.ilp_solution;
+    ps_edge_counts = r.edge_counts;
+    ps_binding_constraints = r.binding_constraints;
+  }
+
+(* The inverse: [inlined] and [costs] come from the (recomputed, content
+   -identical) prefix, every solver-derived quantity from the stored
+   record.  No ILP is built or solved. *)
+let rehydrate (p : prepared) (ps : persisted) =
+  let n = Cfg.Flowgraph.num_blocks p.inlined.Cfg.Inline.fn in
+  if Array.length ps.ps_block_counts <> n then
+    invalid_arg
+      (Fmt.str "Ipet.rehydrate: %d persisted block counts for a %d-block CFG"
+         (Array.length ps.ps_block_counts)
+         n);
+  {
+    wcet = ps.ps_wcet;
+    block_counts = ps.ps_block_counts;
+    inlined = p.inlined;
+    costs = p.costs;
+    ilp_vars = ps.ps_ilp_vars;
+    ilp_constraints = ps.ps_ilp_constraints;
+    bb_nodes = ps.ps_bb_nodes;
+    lp_solves = ps.ps_lp_solves;
+    elapsed_s = ps.ps_elapsed_s;
+    ilp_solution = ps.ps_ilp_solution;
+    edge_counts = ps.ps_edge_counts;
+    binding_constraints = ps.ps_binding_constraints;
+  }
+
 (* Render the worst-case path as (label, count, per-visit cycles) rows for
    blocks on the path, in block order. *)
 let worst_path (result : result) =

@@ -94,5 +94,35 @@ val analyse :
   result
 (** [prepare] + [analyse_prepared] in one step. *)
 
+type persisted = {
+  ps_wcet : int;
+  ps_block_counts : int array;
+  ps_ilp_vars : int;
+  ps_ilp_constraints : int;
+  ps_bb_nodes : int;
+  ps_lp_solves : int;
+  ps_elapsed_s : float;
+  ps_ilp_solution : int array;
+  ps_edge_counts : ((int * int) * int) list;
+  ps_binding_constraints : (string * int) list;
+}
+(** The marshal-safe subset of a {!result}: everything except the
+    in-process [inlined] CFG and [costs] tables, which are pure functions
+    of the analysis inputs and are rebuilt by {!prepare} on rehydration.
+    Contains only ints, floats, strings, arrays and lists — safe for
+    [Marshal] across process boundaries of the same binary. *)
+
+val to_persisted : result -> persisted
+
+val rehydrate : prepared -> persisted -> result
+(** Reconstitute a full {!result} from a persisted record and the prepared
+    prefix it was computed over, without building or solving any ILP.
+    Sound only when the prefix was prepared from the *same* content key
+    (spec, config, pins) the persisted record was stored under; the
+    on-disk cache guarantees this by content addressing.  The block-count
+    array length is checked against the prefix as a cheap corruption
+    guard.
+    @raise Invalid_argument on a shape mismatch. *)
+
 val worst_path : result -> (string * int * int) list
 (** Blocks on the worst-case path: (inlined label, count, cycles/visit). *)
