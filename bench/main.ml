@@ -20,6 +20,7 @@
      constraints Section 5.2  - WCET under manual vs derived constraints
      summary  Section 6       - headline numbers
      sim      stochastic soak: observed IRQ latency vs the computed bound
+     smp      multicore soak: shielded vs spread IRQ affinity at 4 cores
      micro    Bechamel microbenchmarks of the core data structures *)
 
 let run_table1 () = Sel4_rt.Experiments.(print_table1 (table1 ()))
@@ -87,6 +88,21 @@ let run_sim () =
   Fmt.pr "%a@." Obs.Tail_report.pp forensics.Sim.fo_tail;
   List.iter (fun g -> Fmt.pr "%a@." Obs.Gap_report.pp g) forensics.Sim.fo_gaps;
   Fmt.pr "%a@." Sim.pp_throughput th
+
+(* The latest SMP shielded-vs-spread runs, kept for the --json summary:
+   the smp object in BENCH_wcet.json records the IPI accounting and the
+   tail comparison so CI can gate on zero per-core bound violations and
+   on the shielded core keeping the strictly lower tail. *)
+let smp_reports :
+    (Smp.Soak.report * Smp.Soak.report * Smp.Soak.comparison) option ref =
+  ref None
+
+let run_smp () =
+  let shielded, spread, cmp = Smp.Soak.run_compare ~smoke:true ~cores:4 () in
+  smp_reports := Some (shielded, spread, cmp);
+  Fmt.pr "%a@." Smp.Soak.pp_report shielded;
+  Fmt.pr "%a@." Smp.Soak.pp_report spread;
+  Fmt.pr "%a@." Smp.Soak.pp_comparison cmp
 
 (* --- Bechamel microbenchmarks --- *)
 
@@ -196,6 +212,7 @@ let sections =
     ("race", run_race);
     ("explore", run_explore);
     ("sim", run_sim);
+    ("smp", run_smp);
     ("micro", run_micro);
   ]
 
@@ -286,7 +303,7 @@ let write_json ~path ~elapsed_s ~section_times ~engine_wall_s
     ~serial_fresh_wall_s ~(stats : Sel4_rt.Analysis_cache.stats) ~domains
     ~requested_domains ~recommended_domains ~warning ~analysis_rows
     ~constraint_rows ~table2_rows ~inject_rep ~race_rep ~explore_rep ~sim_rep
-    ~sim_forensics =
+    ~sim_forensics ~smp_rep =
   let buf = Buffer.create 2048 in
   let addf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   let f v = Printf.sprintf "%.6f" v in
@@ -301,8 +318,13 @@ let write_json ~path ~elapsed_s ~section_times ~engine_wall_s
   addf "  ],\n";
   addf "  \"engine_wall_s\": %s,\n" (f engine_wall_s);
   addf "  \"serial_fresh_wall_s\": %s,\n" (f serial_fresh_wall_s);
-  addf "  \"speedup\": %s,\n"
-    (f (if engine_wall_s > 0.0 then serial_fresh_wall_s /. engine_wall_s else 0.0));
+  (* Omitted (not zeroed) on single-domain runs: see
+     Serve.Envelope.speedup_field. *)
+  (match
+     Serve.Envelope.speedup_field ~domains ~engine_wall_s ~serial_fresh_wall_s
+   with
+  | Some v -> addf "  \"speedup\": %s,\n" v
+  | None -> ());
   addf "  \"domains\": %d,\n" domains;
   addf "  \"requested_domains\": %s,\n"
     (match requested_domains with Some n -> string_of_int n | None -> "null");
@@ -392,6 +414,32 @@ let write_json ~path ~elapsed_s ~section_times ~engine_wall_s
   | None -> ()
   | Some ((r : Sim.report), (th : Sim.throughput)) ->
       addf "  \"sim\": %s,\n" (Sim.campaign_json r th));
+  (match smp_rep with
+  | None -> ()
+  | Some
+      ( (sh : Smp.Soak.report),
+        (sp : Smp.Soak.report),
+        (cmp : Smp.Soak.comparison) ) ->
+      (* Summary counters only; the full per-scenario per-core tables are
+         available from `sel4rt sim --cores N` (Smp.Soak.report_json). *)
+      let policy_obj (r : Smp.Soak.report) =
+        Printf.sprintf
+          "{\"policy\": \"%s\", \"cores\": %d, \"entries_per_core\": %d, \
+           \"deliveries\": %d, \"ipi_sent\": %d, \"ipi_delivered\": %d, \
+           \"ipi_cancelled\": %d, \"ipi_coalesced\": %d, \"violations\": %d, \
+           \"invariant_failures\": %d, \"ok\": %b}"
+          (Smp.Topology.policy_name r.Smp.Soak.rp_policy)
+          r.Smp.Soak.rp_cores r.Smp.Soak.rp_entries_per_core
+          r.Smp.Soak.rp_deliveries r.Smp.Soak.rp_ipi_sent
+          r.Smp.Soak.rp_ipi_delivered r.Smp.Soak.rp_ipi_cancelled
+          r.Smp.Soak.rp_ipi_coalesced r.Smp.Soak.rp_violations
+          r.Smp.Soak.rp_invariant_failures r.Smp.Soak.rp_ok
+      in
+      addf
+        "  \"smp\": {\"base_bound\": %d, \"shielded\": %s, \"spread\": %s, \
+         \"comparison\": %s},\n"
+        sh.Smp.Soak.rp_base_bound (policy_obj sh) (policy_obj sp)
+        (Smp.Soak.comparison_json cmp));
   (match sim_forensics with
   | None -> ()
   | Some (f : Sim.forensics) ->
@@ -486,7 +534,7 @@ let current_commit () =
    economics and every computed bound, so CI can diff consecutive records
    and fail on throughput regressions or silent bound drift. *)
 let append_history ~path ~engine_wall_s ~serial_fresh_wall_s
-    ~(stats : Sel4_rt.Analysis_cache.stats) ~sim_rep ~explore_rep =
+    ~(stats : Sel4_rt.Analysis_cache.stats) ~sim_rep ~explore_rep ~smp_rep =
   let buf = Buffer.create 512 in
   let addf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   addf "{\"commit\": \"%s\"" (json_escape (current_commit ()));
@@ -530,6 +578,26 @@ let append_history ~path ~engine_wall_s ~serial_fresh_wall_s
         (sum (fun s -> s.Explore.e_deduped))
         (sum (fun s -> s.Explore.e_digest_classes))
         (sum (fun s -> List.length s.Explore.e_failures)));
+  (match smp_rep with
+  | None -> addf ", \"smp\": null"
+  | Some
+      ( (sh : Smp.Soak.report),
+        (sp : Smp.Soak.report),
+        (cmp : Smp.Soak.comparison) ) ->
+      addf
+        ", \"smp\": {\"ipi_sent\": %d, \"ipi_delivered\": %d, \
+         \"ipi_cancelled\": %d, \"ipi_coalesced\": %d, \"violations\": %d, \
+         \"shielded_p999\": %d, \"shielded_max\": %d, \"spread_p999\": %d, \
+         \"spread_max\": %d, \"shielded_tail_lower\": %b}"
+        (sh.Smp.Soak.rp_ipi_sent + sp.Smp.Soak.rp_ipi_sent)
+        (sh.Smp.Soak.rp_ipi_delivered + sp.Smp.Soak.rp_ipi_delivered)
+        (sh.Smp.Soak.rp_ipi_cancelled + sp.Smp.Soak.rp_ipi_cancelled)
+        (sh.Smp.Soak.rp_ipi_coalesced + sp.Smp.Soak.rp_ipi_coalesced)
+        (sh.Smp.Soak.rp_violations + sp.Smp.Soak.rp_violations)
+        cmp.Smp.Soak.cmp_shielded.Sim.ls_p999
+        cmp.Smp.Soak.cmp_shielded.Sim.ls_max
+        cmp.Smp.Soak.cmp_spread.Sim.ls_p999 cmp.Smp.Soak.cmp_spread.Sim.ls_max
+        cmp.Smp.Soak.cmp_tail_lower);
   addf "}\n";
   let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
   output_string oc (Buffer.contents buf);
@@ -615,14 +683,15 @@ let () =
       ~requested_domains ~recommended_domains ~warning ~analysis_rows
       ~constraint_rows ~table2_rows:!table2_rows ~inject_rep:!inject_report
       ~race_rep:!race_report ~explore_rep:!explore_report ~sim_rep:!sim_report
-      ~sim_forensics:!sim_forensics;
+      ~sim_forensics:!sim_forensics ~smp_rep:!smp_reports;
     append_history ~path:"BENCH_history.jsonl" ~engine_wall_s
       ~serial_fresh_wall_s ~stats ~sim_rep:!sim_report
-      ~explore_rep:!explore_report;
-    Fmt.pr "@.engine: %.3fs  serial fresh: %.3fs  speedup: %.1fx  cache \
+      ~explore_rep:!explore_report ~smp_rep:!smp_reports;
+    Fmt.pr "@.engine: %.3fs  serial fresh: %.3fs  speedup: %s  cache \
             %s, hit rate: %.0f%%  (%s)@."
       engine_wall_s serial_fresh_wall_s
-      (serial_fresh_wall_s /. engine_wall_s)
+      (if domains <= 1 then "n/a (single domain)"
+       else Fmt.str "%.1fx" (serial_fresh_wall_s /. engine_wall_s))
       (cache_mode_of stats)
       (100.0 *. Sel4_rt.Analysis_cache.hit_rate stats)
       path

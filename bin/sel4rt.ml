@@ -712,7 +712,42 @@ let explore_cmd =
     Term.(const run $ smoke_arg $ depth_arg $ json_arg)
 
 let sim_cmd =
-  let run smoke seed entries only inv_every collect forensics forensics_out =
+  let run smoke seed entries only inv_every collect forensics forensics_out
+      cores shielded compare =
+    if cores > 1 || compare then begin
+      (* The SMP engine: per-core worlds coupled through the IPI fabric.
+         [--cores 1] without [--compare] stays on the single-core campaign
+         below, whose stdout is covered by the byte-identity contract. *)
+      if forensics || forensics_out <> None then
+        Fmt.epr
+          "warning: --forensics applies to the single-core campaign only; \
+           ignored under --cores > 1@.";
+      if compare then begin
+        let shielded_rep, spread_rep, cmp =
+          Smp.Soak.run_compare ~seed ?entries ~smoke ~cores:(max 2 cores) ()
+        in
+        Fmt.pr "%a@." Smp.Soak.pp_report shielded_rep;
+        Fmt.pr "%a@." Smp.Soak.pp_report spread_rep;
+        Fmt.pr "%a@." Smp.Soak.pp_comparison cmp;
+        if
+          not
+            (shielded_rep.Smp.Soak.rp_ok && spread_rep.Smp.Soak.rp_ok
+           && cmp.Smp.Soak.cmp_tail_lower)
+        then exit 1
+      end
+      else begin
+        let policy =
+          if shielded then Smp.Topology.Shielded else Smp.Topology.Spread
+        in
+        let only = match only with [] -> None | l -> Some l in
+        let report =
+          Smp.Soak.run ~seed ?entries ~smoke ?inv_every ?only ~cores ~policy ()
+        in
+        Fmt.pr "%a@." Smp.Soak.pp_report report;
+        if not report.Smp.Soak.rp_ok then exit 1
+      end;
+      exit 0
+    end;
     let only = match only with [] -> None | l -> Some l in
     let report, th =
       if not (forensics || forensics_out <> None) then
@@ -822,6 +857,37 @@ let sim_cmd =
              per-build folded bound profiles and one Chrome trace per \
              captured worst delivery into DIR (implies $(b,--forensics)).")
   in
+  let cores_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "cores" ] ~docv:"N"
+          ~doc:
+            "Number of modelled cores.  1 (default) runs the single-core \
+             campaign (byte-identical to previous releases); above 1, the \
+             SMP engine runs per-core schedulers coupled through the IPI \
+             fabric and checks every delivery against the per-core bound \
+             (single-core bound + remote-interference term).")
+  in
+  let shielded_arg =
+    Arg.(
+      value & flag
+      & info [ "shielded" ]
+          ~doc:
+            "With $(b,--cores) > 1: route every device line to core 0 and \
+             all tenant workload to the remaining cores (core 0 receives no \
+             IPIs either).  Default is the spread policy (line l to core l \
+             mod N, tenants round-robin).")
+  in
+  let compare_arg =
+    Arg.(
+      value & flag
+      & info [ "compare" ]
+          ~doc:
+            "Run the shielded and spread policies at the same seed and \
+             budget and report the tail comparison; exits non-zero unless \
+             both runs pass their gates and the shielded core's observed \
+             p99.9 and max are strictly lower.")
+  in
   Cmd.v
     (Cmd.info "sim"
        ~doc:
@@ -834,7 +900,8 @@ let sim_cmd =
           invariant check fails.")
     Term.(
       const run $ smoke_arg $ seed_arg $ entries_arg $ only_arg $ inv_every_arg
-      $ collect_arg $ forensics_arg $ forensics_out_arg)
+      $ collect_arg $ forensics_arg $ forensics_out_arg $ cores_arg
+      $ shielded_arg $ compare_arg)
 
 let serve_cmd =
   let run socket stdio =

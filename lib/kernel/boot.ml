@@ -34,8 +34,8 @@ let retype_now env_k ~ut_slot obj_type ~count ~dest_slots =
   | Untyped_ops.Error e ->
       raise (Boot_failure (Fmt.to_to_string Untyped_ops.pp_error e))
 
-let boot ?cpu ?(root_priority = 100) (build : Build.t) =
-  let k = Kernel.create ?cpu build in
+let boot ?cpu ?cpu_id ?(root_priority = 100) (build : Build.t) =
+  let k = Kernel.create ?cpu ?cpu_id build in
   let ut_slot = Kernel.boot_untyped k ~size_bits:26 (* 64 MiB *) in
   (* Root CNode. *)
   let cnode_dest = Kernel.new_root_slot k in

@@ -21,7 +21,9 @@ val root_guard_bits : int
 val cptr : int -> int
 (** Capability address of root CNode slot [i]. *)
 
-val boot : ?cpu:Hw.Cpu.t -> ?root_priority:int -> Build.t -> env
+val boot : ?cpu:Hw.Cpu.t -> ?cpu_id:int -> ?root_priority:int -> Build.t -> env
+(** [cpu_id] (default 0) is forwarded to {!Kernel.create}: every thread
+    the booted system creates is pinned to that core. *)
 
 val ut_cptr : int
 val root_cnode_cptr : int

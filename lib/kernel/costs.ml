@@ -78,6 +78,25 @@ let cdt_remove_instrs = 16
 (* Interrupt path: vector through to the handler dispatch. *)
 let irq_path_instrs = 60
 
+(* Cross-core IPI fabric (SMP model).  Sending is a write to the
+   interrupt controller's ICR plus a barrier; receiving vectors through
+   the IPI handler (ack, read the reason word, set the reschedule flag).
+   [ipi_wire_cycles] is the interconnect latency between the ICR write
+   and the remote pending bit — modelled as pure wire delay, charged to
+   neither core.  A TLB-shootdown IPI additionally runs the local
+   invalidate in its handler. *)
+let ipi_send_instrs = 25
+let ipi_receive_instrs = 45
+let ipi_wire_cycles = 150
+let tlb_shootdown_instrs = 30
+
+(* One contended cache line migrating between cores: the per-pair charge
+   of the remote-interference bound term (Smp.Bound).  Each interfering
+   section pair over cross-core-shared state (run queues, current-thread
+   pointer, IRQ words) can force at most one remote line transfer into a
+   response window. *)
+let remote_line_transfer_cycles = 40
+
 (* Preemption-point check itself (poll the pending flag). *)
 let preempt_check_instrs = 3
 

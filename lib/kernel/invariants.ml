@@ -274,10 +274,66 @@ let check_cleared (k : Kernel.t) =
       | _ -> ())
     k.Kernel.objects
 
+(* A thread is never on two run queues (nor twice in one): walk every
+   queue and record each TCB's first home.  Double-enqueue corrupts both
+   intrusive lists; this check names the offending thread instead of
+   leaving the damage to surface as a cycle or bad back-pointer
+   elsewhere.  Revisiting a TCB also bounds the walk, so a cyclic queue
+   (reported precisely by [check_run_queues]) cannot hang this check. *)
+let check_queue_membership (k : Kernel.t) =
+  let seen = Hashtbl.create 64 in
+  let sched = k.Kernel.sched in
+  for prio = 0 to Sched.num_priorities - 1 do
+    let q = Sched.queue sched prio in
+    let rec walk = function
+      | None -> ()
+      | Some tcb -> (
+          match Hashtbl.find_opt seen tcb.tcb_id with
+          | Some first ->
+              fail "tcb%d on two run queues (priorities %d and %d)" tcb.tcb_id
+                first prio
+          | None ->
+              Hashtbl.add seen tcb.tcb_id prio;
+              walk tcb.sched_next)
+    in
+    walk q.head
+  done
+
+(* Migration/affinity invariant (SMP model): threads never migrate, so a
+   thread only executes on — and only queues on — the core it was
+   created on.  Trivially satisfied on the single-core model (everything
+   has affinity 0); the per-core kernels of the SMP soak give it teeth. *)
+let check_affinity (k : Kernel.t) =
+  let home = k.Kernel.cpu_id in
+  let cur = k.Kernel.current in
+  if cur.tcb_affinity <> home then
+    fail "tcb%d (affinity %d) running on core %d" cur.tcb_id cur.tcb_affinity
+      home;
+  let sched = k.Kernel.sched in
+  for prio = 0 to Sched.num_priorities - 1 do
+    let q = Sched.queue sched prio in
+    let rec walk seen = function
+      | None -> ()
+      | Some tcb ->
+          (* A cyclic queue is [check_run_queues]'s violation to report;
+             just bound the walk here. *)
+          if List.memq tcb seen then ()
+          else begin
+            if tcb.tcb_affinity <> home then
+              fail "tcb%d (affinity %d) queued on core %d" tcb.tcb_id
+                tcb.tcb_affinity home;
+            walk (tcb :: seen) tcb.sched_next
+          end
+    in
+    walk [] q.head
+  done
+
 (* The catalogue, named for reporting. *)
 let catalogue =
   [
     ("run_queues", check_run_queues);
+    ("queue_membership", check_queue_membership);
+    ("affinity", check_affinity);
     ("endpoints", check_endpoints);
     ("notifications", check_notifications);
     ("alignment", check_alignment);

@@ -20,6 +20,15 @@ val catalogue : (string * (Kernel.t -> unit)) list
 (** Individual checks, for targeted tests: *)
 
 val check_run_queues : Kernel.t -> unit
+
+val check_queue_membership : Kernel.t -> unit
+(** A thread never appears on two run queues (nor twice in one). *)
+
+val check_affinity : Kernel.t -> unit
+(** SMP migration invariant: the current thread and every queued thread
+    belong to this kernel's core ({!Kernel.t.cpu_id}); threads never
+    migrate, so affinity is fixed at creation. *)
+
 val check_endpoints : Kernel.t -> unit
 val check_notifications : Kernel.t -> unit
 val check_alignment : Kernel.t -> unit

@@ -13,6 +13,9 @@ open Ktypes
 type t = {
   ctx : Ctx.t;
   build : Build.t;
+  cpu_id : int;
+      (** the core this kernel instance runs on (SMP model); 0 on the
+          single-core model *)
   sched : Sched.t;
   asids : Vspace.asid_state;
   idle : tcb;
@@ -93,6 +96,10 @@ let fresh_id t =
   id
 
 let register t obj =
+  (* New threads inherit the creating kernel's core: the SMP model never
+     migrates threads, so affinity is fixed at creation (the [affinity]
+     invariant checks it stays that way). *)
+  (match obj with Any_tcb tcb -> tcb.tcb_affinity <- t.cpu_id | _ -> ());
   t.objects <- obj :: t.objects;
   Hashtbl.replace t.cap_refs (Objects.id_of obj) 1
 
@@ -103,14 +110,16 @@ let unregister t obj =
   t.objects <- List.filter (fun o -> Objects.id_of o <> id) t.objects;
   Hashtbl.remove t.cap_refs id
 
-let create ?cpu (build : Build.t) =
+let create ?cpu ?(cpu_id = 0) (build : Build.t) =
   let ctx = Ctx.create ?cpu build in
   let idle = Objects.make_tcb ~id:0 ~addr:(Layout.data_base + 0x4000) ~priority:0 in
   idle.state <- Running;
+  idle.tcb_affinity <- cpu_id;
   let t =
     {
       ctx;
       build;
+      cpu_id;
       sched = Sched.create build ~idle;
       asids = Vspace.create_asid_state ();
       idle;

@@ -12,6 +12,9 @@ open Ktypes
 type t = {
   ctx : Ctx.t;
   build : Build.t;
+  cpu_id : int;
+      (** the core this kernel instance runs on (SMP model); 0 on the
+          single-core model *)
   sched : Sched.t;
   asids : Vspace.asid_state;
   idle : tcb;
@@ -48,7 +51,10 @@ val timer_irq : int
 
 (** {1 Construction and bookkeeping} *)
 
-val create : ?cpu:Hw.Cpu.t -> Build.t -> t
+val create : ?cpu:Hw.Cpu.t -> ?cpu_id:int -> Build.t -> t
+(** [cpu_id] (default 0) tags this kernel instance's core: threads it
+    creates are pinned there ({!Ktypes.tcb.tcb_affinity}). *)
+
 val ctx : t -> Ctx.t
 val current : t -> tcb
 val cycles : t -> int

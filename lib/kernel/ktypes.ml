@@ -43,6 +43,10 @@ type tcb = {
   mutable sched_next : tcb option;
   mutable sched_prev : tcb option;
   mutable in_run_queue : bool;
+  (* The core this thread is pinned to (SMP model): threads never
+     migrate, so a thread may only appear in its own core's run queues
+     and on its own core's CPU.  0 on the single-core model. *)
+  mutable tcb_affinity : int;
   (* Intrusive endpoint queue links; [ep_badge] is the badge a blocked
      sender used. *)
   mutable ep_next : tcb option;

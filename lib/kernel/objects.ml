@@ -32,6 +32,7 @@ let make_tcb ~id ~addr ~priority =
     sched_next = None;
     sched_prev = None;
     in_run_queue = false;
+    tcb_affinity = 0;
     ep_next = None;
     ep_prev = None;
     ep_badge = 0;

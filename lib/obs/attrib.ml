@@ -17,6 +17,7 @@
      would see. *)
 
 type irq_breakdown = {
+  core : int;  (* which core's ring the delivery came from; 0 single-core *)
   line : int;
   asserted_at : int;
   delivered_at : int;
@@ -61,7 +62,7 @@ let stall_at events at =
   in
   walk 0 events
 
-let irq_breakdowns events =
+let irq_breakdowns ?(core = 0) events =
   List.filter_map
     (fun (e : Trace.event) ->
       match e.Trace.kind with
@@ -88,6 +89,7 @@ let irq_breakdowns events =
             max 0 (min latency (e.Trace.stall - stall_at events asserted_at))
           in
           {
+            core;
             line;
             asserted_at;
             delivered_at;
@@ -172,6 +174,8 @@ let section_profile events ~from ~until =
   |> List.stable_sort (fun (_, a) (_, b) -> compare b a)
 
 let pp_irq_breakdown ppf b =
+  (* core prefix only when tagged: single-core output is unchanged *)
+  if b.core > 0 then Fmt.pf ppf "[core %d] " b.core;
   Fmt.pf ppf
     "irq%d: asserted @%d in %s, delivered @%d (latency %d = %d stall + %d \
      compute%a)"

@@ -4,6 +4,9 @@
     into memory stall vs compute. *)
 
 type irq_breakdown = {
+  core : int;
+      (** the core whose ring recorded the delivery (0 on the single-core
+          model) — carried so multicore forensics stay attributable *)
   line : int;
   asserted_at : int;  (** recovered as delivered - latency *)
   delivered_at : int;
@@ -17,8 +20,9 @@ type irq_breakdown = {
   compute_cycles : int;  (** latency - stall *)
 }
 
-val irq_breakdowns : Trace.event list -> irq_breakdown list
-(** One breakdown per [Irq_deliver] event, in delivery order. *)
+val irq_breakdowns : ?core:int -> Trace.event list -> irq_breakdown list
+(** One breakdown per [Irq_deliver] event, in delivery order, each tagged
+    with [core] (default 0 — pass {!Trace.core} for a tagged ring). *)
 
 type section = {
   sec_label : string;

@@ -32,6 +32,7 @@ type event = { at : int; stall : int; kind : kind }
 type t = {
   ring : event array;
   capacity : int;
+  core : int;  (* per-ring, not per-event: tagging costs nothing on emit *)
   mutable total : int;  (* events ever emitted; write cursor = total mod capacity *)
 }
 
@@ -39,9 +40,10 @@ let default_capacity = 65_536
 
 let dummy = { at = 0; stall = 0; kind = Marker "" }
 
-let create ?(capacity = default_capacity) () =
+let create ?(capacity = default_capacity) ?(core = 0) () =
   if capacity <= 0 then invalid_arg "Trace.create: capacity must be positive";
-  { ring = Array.make capacity dummy; capacity; total = 0 }
+  if core < 0 then invalid_arg "Trace.create: core must be >= 0";
+  { ring = Array.make capacity dummy; capacity; core; total = 0 }
 
 (* Ring overflows are surfaced in the metrics registry so a capture that
    silently wrapped is visible in every metrics dump (and warnable in the
@@ -56,6 +58,7 @@ let emit t ~at ~stall kind =
 
 let length t = min t.total t.capacity
 let capacity t = t.capacity
+let core t = t.core
 let dropped t = max 0 (t.total - t.capacity)
 let clear t = t.total <- 0
 
@@ -68,8 +71,8 @@ let events t =
 
 (* A ring sized to hold exactly the given events; lets an extracted
    window (e.g. a flight-recorder capture) reuse the renderers below. *)
-let of_events evs =
-  let t = create ~capacity:(max 1 (List.length evs)) () in
+let of_events ?(core = 0) evs =
+  let t = create ~capacity:(max 1 (List.length evs)) ~core () in
   List.iter (fun e -> emit t ~at:e.at ~stall:e.stall e.kind) evs;
   t
 
@@ -114,6 +117,7 @@ let pp_event ppf e = Fmt.pf ppf "@%d(stall %d) %a" e.at e.stall pp_kind e.kind
 (* Human-readable timeline: absolute cycle, delta to the previous event,
    cumulative stall, event. *)
 let pp_timeline ppf t =
+  if t.core > 0 then Fmt.pf ppf "(core %d)@," t.core;
   if dropped t > 0 then
     Fmt.pf ppf "(ring wrapped: %d oldest events dropped)@," (dropped t);
   Fmt.pf ppf "%10s %9s %10s  %s@," "cycle" "+delta" "stall" "event";
@@ -150,13 +154,21 @@ let to_chrome_json ?(cycles_per_us = 1.0) t =
   let buf = Buffer.create 4096 in
   let addf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   let ts cycles = float_of_int cycles /. cycles_per_us in
+  (* One Perfetto thread lane per core.  Core 0 renders as tid 1 with no
+     extra metadata — byte-identical to the single-core output. *)
+  let tid = t.core + 1 in
   addf "{\"traceEvents\": [\n";
   addf
-    "  {\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 1, \"tid\": 1, \
-     \"args\": {\"name\": \"sel4rt simulator\"}}";
+    "  {\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 1, \"tid\": %d, \
+     \"args\": {\"name\": \"sel4rt simulator\"}}" tid;
+  if t.core > 0 then
+    addf
+      ",\n  {\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, \"tid\": \
+       %d, \"args\": {\"name\": \"core %d\"}}"
+      tid t.core;
   let common name ph at =
     addf ",\n  {\"name\": \"%s\", \"ph\": \"%s\", \"ts\": %.3f, \"pid\": 1, \
-          \"tid\": 1" (json_escape name) ph (ts at)
+          \"tid\": %d" (json_escape name) ph (ts at) tid
   in
   let args_close pairs stall =
     addf ", \"args\": {";

@@ -33,13 +33,19 @@ type event = { at : int;  (** simulated cycle *) stall : int;
 
 type t
 
-val create : ?capacity:int -> unit -> t
+val create : ?capacity:int -> ?core:int -> unit -> t
 (** Preallocate a ring of [capacity] events (default 65536).  When full,
-    the oldest events are overwritten. *)
+    the oldest events are overwritten.  [core] (default 0) tags the whole
+    ring with the core it records — per-ring rather than per-event, so
+    tagging adds no cost to {!emit} and no word to events; renderers give
+    each core its own lane. *)
 
 val emit : t -> at:int -> stall:int -> kind -> unit
 val length : t -> int
 val capacity : t -> int
+
+val core : t -> int
+(** The core this ring records (0 on the single-core model). *)
 
 val dropped : t -> int
 (** Events lost to ring wrap-around. *)
@@ -48,10 +54,10 @@ val clear : t -> unit
 val events : t -> event list
 (** Surviving events, oldest first. *)
 
-val of_events : event list -> t
+val of_events : ?core:int -> event list -> t
 (** A ring sized to exactly the given events, in order — lets an
     extracted window (e.g. a flight-recorder capture) reuse
-    {!pp_timeline} and {!to_chrome_json}. *)
+    {!pp_timeline} and {!to_chrome_json}.  [core] as in {!create}. *)
 
 val kind_name : kind -> string
 val pp_kind : kind Fmt.t
@@ -63,4 +69,7 @@ val pp_timeline : Format.formatter -> t -> unit
 val to_chrome_json : ?cycles_per_us:float -> t -> string
 (** Chrome [trace_event] JSON (loadable in Perfetto / chrome://tracing).
     Kernel entries become duration events, everything else instants;
-    timestamps are cycles converted at [cycles_per_us] (default 1.0). *)
+    timestamps are cycles converted at [cycles_per_us] (default 1.0).
+    Events render on thread lane [core + 1], so multicore captures lay
+    each core out as its own track; a core-0 ring renders byte-identically
+    to the pre-SMP output. *)

@@ -48,3 +48,13 @@ val wrap :
 
 val error : ?id:string -> string -> string
 (** [wrap] of an ["error"] envelope around [{"error": msg}]. *)
+
+val speedup_field :
+  domains:int ->
+  engine_wall_s:float ->
+  serial_fresh_wall_s:float ->
+  string option
+(** The rendered value of the bench report's ["speedup"] field, or [None]
+    when [domains <= 1] — a single-domain run measures no parallelism, so
+    the field is omitted from [BENCH_wcet.json] (a warning is still
+    printed) instead of shipping a noise figure. *)

@@ -12,6 +12,14 @@ type request =
       entries : int option;
       scenarios : string list;
     }
+  | Smp of {
+      smoke : bool;
+      seed : int;
+      entries : int option;
+      cores : int;
+      shielded : bool;
+      compare : bool;
+    }
   | Inject of { smoke : bool; seed : int; l2 : bool }
   | Race of { smoke : bool }
   | Explore of { smoke : bool; depth : int option }
@@ -128,6 +136,31 @@ let run_exn = function
       (* [report_json], not [campaign_json]: the throughput splice is
          wall-clock and would break response determinism. *)
       { status; payload = Sim.report_json report }
+  | Smp { smoke; seed; entries; cores; shielded; compare } ->
+      if compare then begin
+        let shielded_rep, spread_rep, cmp =
+          Smp.Soak.run_compare ~seed ?entries ~smoke ~cores ()
+        in
+        let ok =
+          shielded_rep.Smp.Soak.rp_ok && spread_rep.Smp.Soak.rp_ok
+          && cmp.Smp.Soak.cmp_tail_lower
+        in
+        {
+          status = (if ok then Envelope.Ok else Envelope.Fail);
+          payload = Smp.Soak.comparison_json cmp;
+        }
+      end
+      else begin
+        let policy =
+          if shielded then Smp.Topology.Shielded else Smp.Topology.Spread
+        in
+        let report = Smp.Soak.run ~seed ?entries ~smoke ~cores ~policy () in
+        {
+          status =
+            (if report.Smp.Soak.rp_ok then Envelope.Ok else Envelope.Fail);
+          payload = Smp.Soak.report_json report;
+        }
+      end
   | Inject { smoke; seed; l2 } ->
       let config = config_of ~l2 ~pin:false in
       let ctx = Sel4_rt.Analysis_ctx.make ~config () in
@@ -233,6 +266,16 @@ let of_json v =
               |> Result.map List.rev
             in
             Result.Ok (Sim { smoke; seed; entries; scenarios })
+        | "smp" ->
+            let* smoke = bool_field "smoke" true in
+            let* seed = int_field "seed" 42 in
+            let* entries = opt_field "entries" Json.to_int_opt "an integer" in
+            let* cores = int_field "cores" 4 in
+            let* shielded = bool_field "shielded" false in
+            let* compare = bool_field "compare" false in
+            if cores < 1 then Result.Error "\"cores\" must be >= 1"
+            else
+              Result.Ok (Smp { smoke; seed; entries; cores; shielded; compare })
         | "inject" ->
             let* smoke = bool_field "smoke" true in
             let* seed = int_field "seed" 42 in

@@ -10,7 +10,7 @@
     Wire form (one JSON object per request):
 
     {v
-    { "query": "analyse" | "explain" | "metrics" | "sim"
+    { "query": "analyse" | "explain" | "metrics" | "sim" | "smp"
              | "inject" | "race" | "explore",
       "id": <optional string, echoed in the response envelope>,
       ...query-specific parameters... }
@@ -19,7 +19,10 @@
     [analyse]/[explain] take ["target"] (["kernel_entry"] — the full
     interrupt-response bound — or an entry point name; default
     ["kernel_entry"]), ["build"], ["l2"], ["pin"].  [sim] takes
-    ["smoke"], ["seed"], ["entries"], ["scenarios"]; [inject] takes
+    ["smoke"], ["seed"], ["entries"], ["scenarios"]; [smp] takes
+    ["smoke"], ["seed"], ["entries"], ["cores"] (default 4),
+    ["shielded"] and ["compare"] (run both affinity policies and gate
+    on the shielded tail being strictly lower); [inject] takes
     ["smoke"], ["seed"], ["l2"]; [race] takes ["smoke"]; [explore]
     takes ["smoke"], ["depth"].  Booleans default to [false] except
     campaign ["smoke"] which defaults to [true] (a server should not
@@ -40,6 +43,14 @@ type request =
       seed : int;
       entries : int option;
       scenarios : string list;
+    }
+  | Smp of {
+      smoke : bool;
+      seed : int;
+      entries : int option;
+      cores : int;
+      shielded : bool;
+      compare : bool;
     }
   | Inject of { smoke : bool; seed : int; l2 : bool }
   | Race of { smoke : bool }

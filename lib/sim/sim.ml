@@ -285,8 +285,24 @@ let frames_per_vspace_tenant = 4
 
 exception Setup_failure of string
 
-let run_shard ?(worst_n = 0) ?trace ~build ~config ~selection ~scenario ~entries
-    ~bound ~irq_wcet ~inv_every ~(rng : Prng.t) () =
+(* A steppable shard: the whole per-shard setup (kernel boot, devices,
+   tenants, delivery plumbing) packaged behind a step/finish interface so
+   a caller can interleave the execution of several worlds — the SMP
+   soak steps N per-core worlds in global cycle order.  [run_shard] below
+   is exactly [make_world] driven to completion, so the single-core path
+   is untouched. *)
+type world = {
+  w_cpu : Hw.Cpu.t;
+  w_kernel : K.t;
+  w_entries : int;
+  w_step : unit -> unit;
+  w_entries_done : unit -> int;
+  w_finish : unit -> shard_out;
+}
+
+let make_world ?(worst_n = 0) ?(cpu_id = 0) ?trace ?on_delivery ~build ~config
+    ~selection ~scenario ~entries ~bound ~irq_wcet ~inv_every ~(rng : Prng.t) ()
+    =
   let minor0 = Gc.minor_words () in
   let cpu = Hw.Cpu.create config in
   (* Flight-recorder replay: attach the caller's ring before any kernel
@@ -296,7 +312,7 @@ let run_shard ?(worst_n = 0) ?trace ~build ~config ~selection ~scenario ~entries
   (match selection with
   | Some sel -> Pinning.install sel (Hw.Cpu.machine cpu)
   | None -> ());
-  let env = B.boot ~cpu ~root_priority:5 build in
+  let env = B.boot ~cpu ~cpu_id ~root_priority:5 build in
   let k = env.B.k in
   let next_slot = ref B.first_free_slot in
   let alloc_slot () =
@@ -693,13 +709,20 @@ let run_shard ?(worst_n = 0) ?trace ~build ~config ~selection ~scenario ~entries
           | Some c -> Hashtbl.replace hist latency (c + 1)
           | None -> Hashtbl.add hist latency 1
         end;
-        (match dev_by_line.(line) with Some d -> arm d | None -> ())
+        (match dev_by_line.(line) with Some d -> arm d | None -> ());
+        (* External observer (the SMP fabric): pure observation from the
+           world's own point of view — the callback runs after the entry,
+           outside kernel execution, and the single-core path passes
+           [None], so report bytes cannot change. *)
+        match on_delivery with
+        | Some f -> f ~line ~latency ~cycle:cyc
+        | None -> ()
       done;
       deliv_n := 0
     end;
     if inv_every > 0 && !entries_done mod inv_every = 0 then sample_invariants ()
   in
-  while !entries_done < entries do
+  let step () =
     if K.has_pending_irq k then run_entry (-1) K.Ev_interrupt
     else
       let cur = k.K.current in
@@ -717,23 +740,52 @@ let run_shard ?(worst_n = 0) ?trace ~build ~config ~selection ~scenario ~entries
           match restart_ev.(id) with Some ev -> ev | None -> programs.(id) ()
         in
         run_entry id ev
-  done;
-  if inv_every > 0 then sample_invariants ();
-  K.set_irq_delivery_hook k None;
+  in
+  let finish () =
+    if inv_every > 0 then sample_invariants ();
+    K.set_irq_delivery_hook k None;
+    {
+      so_entries = !entries_done;
+      so_preempted = K.preempted_events k;
+      so_restarts = k.K.syscall_restarts;
+      so_failed = !failed;
+      so_deliveries = !deliveries;
+      so_queued = !queued_deliveries;
+      so_hist =
+        List.sort compare (Hashtbl.fold (fun v c acc -> (v, c) :: acc) hist []);
+      so_violations = List.rev !violations;
+      so_inv = !inv;
+      so_minor_words = Gc.minor_words () -. minor0;
+      so_worst = List.init !worst_len (fun i -> worst.(i));
+    }
+  in
   {
-    so_entries = !entries_done;
-    so_preempted = K.preempted_events k;
-    so_restarts = k.K.syscall_restarts;
-    so_failed = !failed;
-    so_deliveries = !deliveries;
-    so_queued = !queued_deliveries;
-    so_hist =
-      List.sort compare (Hashtbl.fold (fun v c acc -> (v, c) :: acc) hist []);
-    so_violations = List.rev !violations;
-    so_inv = !inv;
-    so_minor_words = Gc.minor_words () -. minor0;
-    so_worst = List.init !worst_len (fun i -> worst.(i));
+    w_cpu = cpu;
+    w_kernel = k;
+    w_entries = entries;
+    w_step = step;
+    w_entries_done = (fun () -> !entries_done);
+    w_finish = finish;
   }
+
+let world_step w = w.w_step ()
+let world_done w = w.w_entries_done () >= w.w_entries
+let world_cycles w = Hw.Cpu.cycles w.w_cpu
+let world_cpu w = w.w_cpu
+let world_kernel w = w.w_kernel
+let world_entries_done w = w.w_entries_done ()
+let world_finish w = w.w_finish ()
+
+let run_shard ?worst_n ?trace ~build ~config ~selection ~scenario ~entries
+    ~bound ~irq_wcet ~inv_every ~(rng : Prng.t) () =
+  let w =
+    make_world ?worst_n ?trace ~build ~config ~selection ~scenario ~entries
+      ~bound ~irq_wcet ~inv_every ~rng ()
+  in
+  while not (world_done w) do
+    world_step w
+  done;
+  world_finish w
 
 (* --- campaign --- *)
 

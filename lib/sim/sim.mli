@@ -96,6 +96,78 @@ val margin_percent : run_result -> float
 (** Headroom of the bound over the observed worst case:
     [100 * (bound - max) / bound] (100 when nothing was observed). *)
 
+(** {1 Steppable per-core world}
+
+    The building block the SMP soak ({!Smp.Soak}) is made of: one
+    booted kernel plus the scenario's tenants and devices, exposed as an
+    explicit step/finish interface so several worlds (one per modelled
+    core) can be interleaved in global cycle order.  {!run_campaign} is
+    exactly [make_world] driven to completion per shard, so the
+    single-core campaign (and its byte-identity contract) is unchanged. *)
+
+(** Aggregated output of one world run to completion: counts, the
+    latency histogram of single-outstanding deliveries (value -> count,
+    sorted ascending), chronological bound violations and sampled
+    invariant failures. *)
+type shard_out = {
+  so_entries : int;
+  so_preempted : int;
+  so_restarts : int;
+  so_failed : int;
+  so_deliveries : int;
+  so_queued : int;
+  so_hist : (int * int) list;
+  so_violations : violation list;
+  so_inv : string list;
+  so_minor_words : float;
+  so_worst : (int * int * int * int) list;
+      (** forensics only: (latency, line, delivered cycle, entry index) *)
+}
+
+type world
+
+val make_world :
+  ?worst_n:int ->
+  ?cpu_id:int ->
+  ?trace:Obs.Trace.t ->
+  ?on_delivery:(line:int -> latency:int -> cycle:int -> unit) ->
+  build:Sel4.Build.t ->
+  config:Hw.Config.t ->
+  selection:Sel4_rt.Pinning.selection option ->
+  scenario:scenario ->
+  entries:int ->
+  bound:int ->
+  irq_wcet:int ->
+  inv_every:int ->
+  rng:Sel4_rt.Prng.t ->
+  unit ->
+  world
+(** Boot a fresh kernel and set up [scenario]'s devices and tenants.
+    [cpu_id] (default 0) tags the booted kernel's core so the affinity
+    invariant has teeth under SMP soaks.
+    Every observed delivery is checked against [bound] (plus one
+    [irq_wcet] per queued delivery in its window) at delivery time.
+    [on_delivery] is invoked after the delivering entry returns (outside
+    kernel execution) — the hook the SMP fabric uses to observe traffic
+    and inject cross-core work; the single-core campaign passes nothing,
+    so report bytes are unaffected. *)
+
+val world_step : world -> unit
+(** Run one kernel entry (or one idle-skip-to-next-timer entry). *)
+
+val world_done : world -> bool
+val world_cycles : world -> int
+val world_cpu : world -> Hw.Cpu.t
+val world_kernel : world -> Sel4.Kernel.t
+val world_entries_done : world -> int
+
+val world_finish : world -> shard_out
+(** Final invariant sample, uninstall the delivery hook, and reduce. *)
+
+val stats_of_hist : (int, int) Hashtbl.t -> latency_stats
+(** Exact latency statistics from a value -> count histogram (the merge
+    step the campaign and the SMP soak share). *)
+
 (** Wall-clock economics of one campaign (not deterministic — never part
     of the byte-identity contract). *)
 type throughput = {

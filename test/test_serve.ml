@@ -121,6 +121,19 @@ let test_envelope_no_id_and_bad_payload () =
   check_string "error helper message" "boom"
     (Option.get (J.to_string_opt (member_exn "error" (member_exn "payload" v))))
 
+(* The bench report's speedup field: present only when more than one
+   domain actually ran, so a single-domain bench can never ship a noise
+   ratio that reads like a parallelism regression. *)
+let test_envelope_speedup_field () =
+  let field = E.speedup_field ~serial_fresh_wall_s:9.0 ~engine_wall_s:3.0 in
+  check_bool "omitted at 1 domain" true (field ~domains:1 = None);
+  check_bool "omitted at 0 domains" true (field ~domains:0 = None);
+  check_string "present at 2 domains" "3.000000"
+    (Option.get (field ~domains:2));
+  check_bool "zero engine wall degrades to 0, not a crash" true
+    (E.speedup_field ~domains:4 ~serial_fresh_wall_s:9.0 ~engine_wall_s:0.0
+    = Some "0.000000")
+
 (* --- Query wire parsing --- *)
 
 let test_query_of_json () =
@@ -463,6 +476,8 @@ let () =
           Alcotest.test_case "schema pin" `Quick test_envelope_schema;
           Alcotest.test_case "no id / bad payload" `Quick
             test_envelope_no_id_and_bad_payload;
+          Alcotest.test_case "speedup field omitted at 1 domain" `Quick
+            test_envelope_speedup_field;
         ] );
       ( "query",
         [
